@@ -1,0 +1,56 @@
+"""Ablation — mixed precision (Section VI, future work).
+
+Maps the accuracy/DSP-cost frontier of per-stage scale assignments: the
+gates tolerate coarse formats (their outputs pass through saturating
+activations) while the cell state and head want the full 10^6 scale (the
+cell integrates error over all 100 timesteps).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.core.mixed_precision import MixedPrecisionPolicy, evaluate_policy
+from repro.core.weights import HostWeights
+from repro.fixedpoint.qformat import QFormat
+
+POLICIES = (
+    ("uniform 10^6 (paper)", 10**6, 10**6),
+    ("gates 10^3 / state 10^6", 10**3, 10**6),
+    ("gates 10^2 / state 10^6", 10**2, 10**6),
+    ("gates 10^6 / state 10^3", 10**6, 10**3),
+    ("uniform 10^3", 10**3, 10**3),
+)
+
+
+def bench_mixed_precision_frontier(benchmark, bench_model, bench_split):
+    _, test = bench_split
+    sample = test.subset(np.arange(min(40, len(test))))
+    weights = HostWeights.from_model(bench_model)
+    reference = bench_model.predict_proba(sample.sequences)
+
+    def sweep():
+        results = {}
+        for label, gate_scale, state_scale in POLICIES:
+            policy = MixedPrecisionPolicy(QFormat(gate_scale), QFormat(state_scale))
+            results[label] = evaluate_policy(
+                weights, policy, sample.sequences, reference
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'policy':28s}{'max |dp|':>10s}{'agree':>8s}{'DSP cost':>10s}"]
+    for label, _, _ in POLICIES:
+        evaluation = results[label]
+        lines.append(
+            f"{label:28s}{evaluation.max_probability_error:>10.4f}"
+            f"{evaluation.decision_agreement:>7.1%}"
+            f"{evaluation.relative_dsp_cost:>10.2f}"
+        )
+    record_report("Ablation: mixed precision (Section VI)", lines)
+
+    paper = results["uniform 10^6 (paper)"]
+    cheap_gates = results["gates 10^3 / state 10^6"]
+    # Low-precision gates keep decisions while cutting DSP cost.
+    assert cheap_gates.decision_agreement >= paper.decision_agreement - 0.05
+    assert cheap_gates.relative_dsp_cost < 1.0

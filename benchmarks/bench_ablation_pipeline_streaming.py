@@ -1,0 +1,71 @@
+"""Ablations — preemptive preprocessing and kernel-to-kernel streaming.
+
+* **Pipeline** (Section III-C): "kernel_preprocess preemptively processes
+  the next item in the sequence ... in parallel".  Compares whole-sequence
+  latency with the overlap on and off.
+* **Streaming** (Section III-C): "streaming can be easily ported to the
+  kernel implementation for additional acceleration".  Quantifies the
+  AXI-buffer-to-FIFO hand-off savings per optimisation level.
+"""
+
+from benchmarks.conftest import record_report
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.core.streaming import streaming_report
+from repro.core.timing import build_inference_timing
+
+
+def _sequence_cycles(level: OptimizationLevel, preemptive: bool) -> int:
+    config = EngineConfig(optimization=level, preemptive_preprocess=preemptive)
+    engine = CSDInferenceEngine.build_unloaded(config)
+    timing = build_inference_timing(
+        config,
+        engine.preprocess.timing(),
+        engine.gates.timing(),
+        engine.hidden_state.timing(),
+        engine.hidden_state.classification_cycles(),
+        engine.device.clock,
+    )
+    return timing.sequence_cycles
+
+
+def bench_preemptive_pipeline(benchmark):
+    def sweep():
+        return {
+            level.name: (_sequence_cycles(level, False), _sequence_cycles(level, True))
+            for level in OptimizationLevel
+        }
+
+    results = benchmark(sweep)
+    lines = [f"{'level':14s}{'serial':>10s}{'pipelined':>11s}{'speedup':>9s}"]
+    for name, (serial, pipelined) in results.items():
+        lines.append(
+            f"{name:14s}{serial:>10d}{pipelined:>11d}{serial / pipelined:>8.2f}x"
+        )
+    lines.append("(100-item sequence, cycles end to end)")
+    record_report("Ablation: preemptive preprocess pipeline", lines)
+    for serial, pipelined in results.values():
+        assert pipelined < serial
+
+
+def bench_streaming_extension(benchmark):
+    def sweep():
+        reports = {}
+        for level in OptimizationLevel:
+            engine = CSDInferenceEngine.build_unloaded(EngineConfig(optimization=level))
+            reports[level.name] = streaming_report(engine)
+        return reports
+
+    reports = benchmark(sweep)
+    lines = [f"{'level':14s}{'base us':>9s}{'streamed us':>12s}{'speedup':>9s}"]
+    for name, report in reports.items():
+        base_us = report.clock.cycles_to_microseconds(report.baseline_item_cycles)
+        lines.append(
+            f"{name:14s}{base_us:>9.3f}{report.streamed_item_microseconds:>12.3f}"
+            f"{report.item_speedup:>8.2f}x"
+        )
+    lines.append("(per-item; streaming removes copy loops + re-invocation)")
+    record_report("Ablation: kernel-to-kernel streaming", lines)
+    for report in reports.values():
+        assert report.item_speedup > 1.0
+        assert report.sequence_speedup > 1.0

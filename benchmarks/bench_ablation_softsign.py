@@ -1,0 +1,90 @@
+"""Ablation — softsign vs tanh (Section III-D).
+
+Two halves of the design choice:
+
+* **latency** — tanh needs ``exp()``; on the fabric that is a deep,
+  partially-pipelined core, while softsign is one divide.  We rebuild the
+  ``kernel_hidden_state`` update-lane chain with each activation and
+  compare.
+* **accuracy** — the paper claims softsign is "a sufficient replacement".
+  We train the same model with each cell activation on the same data and
+  compare converged accuracy.
+"""
+
+from benchmarks.conftest import record_report
+from repro.hw.hls import FLOAT_OPS, HlsLoop, OpLatency, PragmaSet
+from repro.nn.model import SequenceClassifier
+from repro.nn.trainer import Trainer, TrainingConfig
+
+HIDDEN = 32
+
+
+def _update_loop_cycles(activation_depth: int, activation_ii: int) -> int:
+    chain = FLOAT_OPS["mul"].depth + FLOAT_OPS["add"].depth + activation_depth + FLOAT_OPS["mul"].depth
+    loop = HlsLoop(
+        name="cell_update",
+        trip_count=HIDDEN,
+        iteration_depth=chain,
+        pragmas=PragmaSet(pipeline=True, target_ii=1, array_partition=True),
+        shared_unit_ii=activation_ii,
+    )
+    return loop.latency_cycles
+
+
+def bench_softsign_latency(benchmark):
+    """Hidden-state lane latency: softsign vs exp-based tanh."""
+
+    def compare():
+        softsign_act = FLOAT_OPS["add"].depth + FLOAT_OPS["div"].depth
+        softsign = _update_loop_cycles(softsign_act, FLOAT_OPS["div"].ii)
+        # tanh = (exp(2x) - 1) / (exp(2x) + 1): exp + two adds + divide.
+        exp_op = FLOAT_OPS["exp"]
+        tanh_act = exp_op.depth + 2 * FLOAT_OPS["add"].depth + FLOAT_OPS["div"].depth
+        tanh = _update_loop_cycles(tanh_act, max(exp_op.ii, FLOAT_OPS["div"].ii))
+        return softsign, tanh
+
+    softsign_cycles, tanh_cycles = benchmark(compare)
+    lines = [
+        f"hidden_state update loop, H={HIDDEN}, II-optimised, float:",
+        f"  softsign: {softsign_cycles} cycles",
+        f"  tanh:     {tanh_cycles} cycles  "
+        f"({tanh_cycles / softsign_cycles:.2f}x slower)",
+    ]
+    record_report("Ablation: softsign vs tanh (latency)", lines)
+    assert tanh_cycles > softsign_cycles
+
+
+def bench_softsign_accuracy(benchmark, bench_split):
+    """Converged accuracy: softsign cell vs tanh cell on the same data."""
+    train, test = bench_split
+    # Sub-sample for speed: this trains two models.
+    import numpy as np
+
+    keep = np.arange(min(1200, len(train)))
+    keep_test = np.arange(min(400, len(test)))
+
+    def train_both():
+        accuracies = {}
+        for activation in ("softsign", "tanh"):
+            model = SequenceClassifier(cell_activation=activation, seed=0)
+            trainer = Trainer(
+                model,
+                TrainingConfig(epochs=10, eval_every=10, learning_rate=0.005),
+            )
+            history = trainer.fit(
+                train.sequences[keep], train.labels[keep],
+                test.sequences[keep_test], test.labels[keep_test],
+            )
+            accuracies[activation] = history.peak.test_accuracy
+        return accuracies
+
+    accuracies = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    lines = [
+        f"softsign cell: accuracy {accuracies['softsign']:.4f}",
+        f"tanh cell:     accuracy {accuracies['tanh']:.4f}",
+        "claim: softsign is a sufficient replacement "
+        f"(|delta| = {abs(accuracies['softsign'] - accuracies['tanh']):.4f})",
+    ]
+    record_report("Ablation: softsign vs tanh (accuracy)", lines)
+    # "Sufficient replacement": within 3 accuracy points either way.
+    assert abs(accuracies["softsign"] - accuracies["tanh"]) < 0.03

@@ -1,0 +1,103 @@
+"""Dependability — fault injection on the deployed engine.
+
+DSN-appropriate questions the paper leaves open, answered on the
+simulated substrate:
+
+* **SEU sensitivity** — how many random bit flips in the FPGA-resident
+  quantised weights does the detector absorb before accuracy degrades?
+  (Informs BRAM scrubbing intervals.)
+* **AXI stalls** — degraded memory service slows inference but must not
+  change verdicts.
+* **DMA retry** — transient P2P failures cost retries, never corruption.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.hw.faults import AxiStallFault, DmaErrorFault, FaultPlan, retry_dma
+from repro.nn.metrics import classification_report
+
+
+def _flip_random_bits(quantized_embedding, flips: int, rng, max_bit: int = 44):
+    """Return a copy with ``flips`` random bit flips (SEU burst model)."""
+    corrupted = np.array(quantized_embedding, copy=True)
+    flat = corrupted.reshape(-1)
+    for _ in range(flips):
+        index = int(rng.integers(0, flat.size))
+        bit = int(rng.integers(0, max_bit))
+        flat[index] = np.int64(flat[index]) ^ np.int64(1 << bit)
+    return corrupted
+
+
+def bench_seu_sensitivity(benchmark, bench_model, bench_split):
+    _, test = bench_split
+    sample = test.subset(np.arange(min(200, len(test))))
+    engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
+                             sequence_length=sample.sequence_length)
+    pristine = engine.quantized.embedding
+    baseline = classification_report(engine.predict(sample.sequences), sample.labels)
+
+    def sweep():
+        rng = np.random.default_rng(7)
+        results = {}
+        for flips in (0, 1, 8, 64, 512):
+            engine.preprocess._embedding_fixed = _flip_random_bits(pristine, flips, rng)
+            metrics = classification_report(
+                engine.predict(sample.sequences), sample.labels
+            )
+            results[flips] = metrics["accuracy"]
+        engine.preprocess._embedding_fixed = pristine  # scrub
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"baseline accuracy {baseline['accuracy']:.4f}",
+             f"{'bit flips':>10s}{'accuracy':>10s}{'delta':>9s}"]
+    for flips, accuracy in results.items():
+        lines.append(
+            f"{flips:>10d}{accuracy:>10.4f}{accuracy - baseline['accuracy']:>+9.4f}"
+        )
+    record_report("Dependability: SEU bit flips in weight memory", lines)
+
+    # Single-event upsets are absorbed; a 512-flip burst visibly degrades.
+    assert abs(results[1] - baseline["accuracy"]) < 0.03
+    assert results[512] <= results[0] + 1e-9
+
+
+def bench_axi_stall_latency(benchmark):
+    """Stalls stretch transfers deterministically; no data corruption."""
+
+    def measure():
+        from repro.hw.axi import AxiMasterPort
+
+        port = AxiMasterPort(name="p")
+        plan = FaultPlan(axi_stall=AxiStallFault(period=3, extra_cycles=150))
+        healthy = sum(port.read_cycles(256) for _ in range(30))
+        degraded = healthy + sum(plan.extra_transfer_cycles() for _ in range(30))
+        return healthy, degraded
+
+    healthy, degraded = benchmark(measure)
+    lines = [
+        f"30 reads healthy:  {healthy} cycles",
+        f"30 reads degraded: {degraded} cycles "
+        f"(+{(degraded - healthy) / healthy:.0%} from periodic stalls)",
+    ]
+    record_report("Dependability: AXI stall degradation", lines)
+    assert degraded > healthy
+
+
+def bench_dma_retry_cost(benchmark):
+    """Transient P2P DMA failures: bounded retry cost, guaranteed outcome."""
+
+    def measure():
+        attempts = []
+        for failures in (0, 1, 2):
+            plan = FaultPlan(dma_error=DmaErrorFault(failures=failures))
+            attempts.append(retry_dma(plan, attempts=4))
+        return attempts
+
+    attempts = benchmark(measure)
+    lines = [f"failures={f}: {a} attempt(s)" for f, a in zip((0, 1, 2), attempts)]
+    record_report("Dependability: P2P DMA retry", lines)
+    assert attempts == [1, 2, 3]

@@ -1,0 +1,66 @@
+"""Fig. 3 — FPGA LSTM inference time reductions through optimisations.
+
+Regenerates the per-kernel execution times (us per forward-pass item) for
+the Vanilla, +II, and +Fixed-point configurations and checks them against
+the paper's bars.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.timing import kernel_breakdown, optimization_sweep
+
+#: The paper's Fig. 3 values (us per item).
+PAPER_FIG3 = {
+    "VANILLA": {"preprocess": 0.800, "gates": 1.27700, "hidden_state": 5.076,
+                "total": 7.153},
+    "II_OPTIMIZED": {"preprocess": 0.743, "gates": 1.65100, "hidden_state": 2.001,
+                     "total": 4.395},
+    "FIXED_POINT": {"preprocess": 0.740, "gates": 0.00333, "hidden_state": 1.408,
+                    "total": 2.15133},
+}
+
+
+def bench_fig3_sweep(benchmark):
+    """Regenerate the full figure; every bar within 15% of the paper."""
+    sweep = benchmark(optimization_sweep)
+
+    lines = [f"{'level':14s}{'kernel':14s}{'measured':>10s}{'paper':>10s}{'err':>8s}"]
+    for level, kernels in sweep.items():
+        for kernel, measured in kernels.items():
+            paper = PAPER_FIG3[level][kernel]
+            error = (measured - paper) / paper
+            lines.append(
+                f"{level:14s}{kernel:14s}{measured:10.5f}{paper:10.5f}"
+                f"{error:+8.1%}"
+            )
+            assert measured == pytest.approx(paper, rel=0.15), (level, kernel)
+    record_report("Fig. 3: kernel times by optimisation (us/item)", lines)
+
+
+def bench_fig3_shape_claims(benchmark):
+    """The three textual claims the figure supports."""
+    sweep = benchmark(optimization_sweep)
+    preprocess = [sweep[level.name]["preprocess"] for level in OptimizationLevel]
+    # 1. preprocess "remained fairly fixed".
+    assert max(preprocess) - min(preprocess) < 0.2 * max(preprocess)
+    # 2. II minimisation cuts hidden_state by a wide margin.
+    assert sweep["II_OPTIMIZED"]["hidden_state"] < 0.5 * sweep["VANILLA"]["hidden_state"]
+    # 3. fixed-point dramatically cuts gates.
+    assert sweep["FIXED_POINT"]["gates"] < 0.01 * sweep["II_OPTIMIZED"]["gates"]
+    record_report(
+        "Fig. 3 shape claims",
+        [
+            "preprocess fairly fixed across levels: PASS",
+            "II gives wide-margin hidden_state cut: PASS",
+            "fixed-point dramatically cuts gates:   PASS",
+        ],
+    )
+
+
+def bench_fig3_single_breakdown(benchmark):
+    """Throughput of one breakdown evaluation (the simulator itself)."""
+    config = EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+    result = benchmark(kernel_breakdown, config)
+    assert result["total"] > 0

@@ -1,0 +1,40 @@
+"""Fig. 4 — convergence of the LSTM training on ransomware sequences.
+
+The paper trains the 7,472-parameter model on the 29K-sequence dataset
+until convergence, peaking at test accuracy 0.9833 around 4K epochs.  At
+benchmark scale (REPRO_BENCH_SCALE of the data, REPRO_BENCH_EPOCHS
+epochs of mini-batch Adam rather than 4K epochs of the paper's regime)
+the curve converges to the same accuracy plateau much earlier; the series
+below is the reproduction's Fig. 4.
+"""
+
+from benchmarks.conftest import BENCH_EPOCHS, BENCH_SCALE, record_report
+
+PAPER_PEAK_ACCURACY = 0.9833
+
+
+def bench_fig4_convergence_curve(benchmark, bench_history):
+    """Replay (and report) the recorded convergence curve."""
+
+    def peak_accuracy():
+        return bench_history.peak.test_accuracy
+
+    peak = benchmark(peak_accuracy)
+
+    lines = [
+        f"dataset scale {BENCH_SCALE} ({BENCH_EPOCHS} epochs); "
+        f"paper: peak 0.9833 near 4K epochs",
+        f"{'epoch':>6s}{'train loss':>12s}{'test acc':>10s}{'f1':>8s}",
+    ]
+    for record in bench_history.records:
+        lines.append(
+            f"{record.epoch:6d}{record.train_loss:12.4f}"
+            f"{record.test_accuracy:10.4f}{record.test_f1:8.4f}"
+        )
+    lines.append(f"peak accuracy: {peak:.4f} (paper {PAPER_PEAK_ACCURACY})")
+    record_report("Fig. 4: training convergence", lines)
+
+    # The curve must actually converge to the paper's plateau region.
+    assert peak > 0.955
+    # And must *be* a convergence curve: late accuracy above early.
+    assert bench_history.records[-1].test_accuracy > bench_history.records[0].test_accuracy

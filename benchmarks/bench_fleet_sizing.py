@@ -1,0 +1,58 @@
+"""Deployment scenario — sizing a node's CSD fleet (Section II).
+
+"a scalable solution ... allowing for the installation of multiple
+devices within a single node": given a rack of monitored hosts, how many
+SmartSSDs does the scanning workload need, and how gracefully does the
+plan absorb a device failure?
+"""
+
+from benchmarks.conftest import record_report
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.core.fleet import FleetPlanner, MonitoredStream
+from repro.core.throughput import throughput_report
+
+
+def _rack():
+    """A mixed rack: 8 busy DB hosts, 24 app servers, 32 quiet VMs."""
+    streams = []
+    streams += [MonitoredStream(f"db{i}", 8000, detection_stride=10) for i in range(8)]
+    streams += [MonitoredStream(f"app{i}", 3000, detection_stride=10) for i in range(24)]
+    streams += [MonitoredStream(f"vm{i}", 800, detection_stride=10) for i in range(32)]
+    return streams
+
+
+def bench_fleet_sizing(benchmark):
+    engine = CSDInferenceEngine.build_unloaded(
+        EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+    )
+    report = throughput_report(engine)
+    planner = FleetPlanner(report, headroom=0.8)
+    streams = _rack()
+
+    def plan_and_fail():
+        plan = planner.plan(streams)
+        degraded = planner.rebalance_after_failure(
+            plan, plan.assignments[0].device_index
+        )
+        return plan, degraded
+
+    plan, degraded = benchmark(plan_and_fail)
+    demand = sum(s.windows_per_second for s in streams)
+    lines = [
+        f"rack: {len(streams)} monitored streams, "
+        f"{demand:.0f} windows/s total demand",
+        f"per-CSD capacity: {report.windows_per_second:.0f} windows/s "
+        f"({report.bottleneck}-bound), 80% headroom",
+        f"devices needed: {plan.devices_needed} "
+        f"(peak utilisation {plan.peak_utilization:.0%})",
+        f"after one device failure: {degraded.devices_needed} devices, "
+        f"peak utilisation {degraded.peak_utilization:.0%}",
+    ]
+    record_report("Scenario: fleet sizing for one node", lines)
+
+    assert plan.devices_needed >= 1
+    assert plan.peak_utilization <= 0.8 + 1e-9
+    assert degraded.peak_utilization <= 0.8 + 1e-9
+    placed = sum(len(a.streams) for a in degraded.assignments)
+    assert placed == len(streams)

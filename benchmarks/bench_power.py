@@ -1,0 +1,70 @@
+"""Power/energy comparison (Sections I, V, VII's efficiency claims).
+
+The paper argues CSDs cut energy under continuous background inference.
+Energy = device power x per-inference time; with the Table I latencies
+and representative board powers the FPGA wins by ~3-4 orders of
+magnitude per inference, and by device power alone even at equal speed.
+"""
+
+from benchmarks.conftest import record_report
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.hw.power import (
+    A100_GPU_POWER,
+    SMARTSSD_FPGA_POWER,
+    XEON_CPU_POWER,
+    energy_comparison,
+)
+from repro.baselines.cpu import PAPER_CPU_MEAN_US
+from repro.baselines.gpu import PAPER_GPU_MEAN_US
+
+SEQUENCE_ITEMS = 100
+
+
+def bench_energy_per_inference(benchmark):
+    engine = CSDInferenceEngine.build_unloaded(
+        EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+    )
+    fpga_item_us = engine.per_item_microseconds()
+
+    def compute():
+        seconds = {
+            SMARTSSD_FPGA_POWER: fpga_item_us * SEQUENCE_ITEMS * 1e-6,
+            XEON_CPU_POWER: PAPER_CPU_MEAN_US * SEQUENCE_ITEMS * 1e-6,
+            A100_GPU_POWER: PAPER_GPU_MEAN_US * SEQUENCE_ITEMS * 1e-6,
+        }
+        return energy_comparison(seconds)
+
+    joules = benchmark(compute)
+    fpga = joules["SmartSSD-FPGA"]
+    lines = [f"{'device':18s}{'mJ/window':>12s}{'vs FPGA':>10s}"]
+    for device, value in joules.items():
+        lines.append(f"{device:18s}{value * 1e3:>12.4f}{value / fpga:>9.0f}x")
+    lines.append(f"(one {SEQUENCE_ITEMS}-item window per device, active power only)")
+    record_report("Power: energy per inference", lines)
+
+    assert joules["SmartSSD-FPGA"] < joules["Xeon-Silver-4114"] / 100
+    assert joules["SmartSSD-FPGA"] < joules["A100-40GB"] / 1000
+
+
+def bench_continuous_monitoring_power(benchmark):
+    """The background-monitoring scenario: windows/second at budgeted W."""
+    engine = CSDInferenceEngine.build_unloaded(
+        EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+    )
+
+    def rate_per_watt():
+        window_seconds = engine.per_item_microseconds() * SEQUENCE_ITEMS * 1e-6
+        windows_per_second = 1.0 / window_seconds
+        return windows_per_second / SMARTSSD_FPGA_POWER.active_watts
+
+    fpga_rate = benchmark(rate_per_watt)
+    cpu_rate = (1.0 / (PAPER_CPU_MEAN_US * SEQUENCE_ITEMS * 1e-6)) / XEON_CPU_POWER.active_watts
+    gpu_rate = (1.0 / (PAPER_GPU_MEAN_US * SEQUENCE_ITEMS * 1e-6)) / A100_GPU_POWER.active_watts
+    lines = [
+        f"FPGA: {fpga_rate:10.1f} windows/s/W",
+        f"CPU:  {cpu_rate:10.1f} windows/s/W",
+        f"GPU:  {gpu_rate:10.1f} windows/s/W",
+    ]
+    record_report("Power: monitoring throughput per watt", lines)
+    assert fpga_rate > 100 * cpu_rate

@@ -1,0 +1,78 @@
+"""Table I — traditional DL hardware comparison.
+
+FPGA (CSD engine, hardware-emulation figure, CI "N/A") vs a Xeon-class
+CPU and an A100-class GPU, per forward-pass item, with 95% confidence
+intervals; plus the headline speedup (paper: 344.6x over the GPU).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.baselines.comparison import format_table, hardware_comparison
+from repro.baselines.cpu import CpuInferenceBaseline
+from repro.baselines.gpu import GpuInferenceBaseline
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.core.weights import HostWeights
+
+PAPER = {
+    "FPGA": 2.15133,
+    "CPU": (991.57750, 217.46576, 1765.68923),
+    "GPU": (741.35336, 394.45317, 1088.25355),
+    "speedup_gpu": 344.6,
+}
+
+
+@pytest.fixture(scope="module")
+def comparison(bench_model):
+    weights = HostWeights.from_model(bench_model)
+    engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
+                             sequence_length=100)
+    return hardware_comparison(
+        engine, CpuInferenceBaseline(weights), GpuInferenceBaseline(weights),
+        trials=10_000,
+    )
+
+
+def bench_table1_rows(benchmark, comparison):
+    """Assemble and verify the table."""
+    table = benchmark(format_table, comparison)
+    lines = table.splitlines()
+    lines.append("")
+    lines.append(
+        f"paper: FPGA {PAPER['FPGA']} us | CPU {PAPER['CPU'][0]} us "
+        f"[{PAPER['CPU'][1]}, {PAPER['CPU'][2]}] | GPU {PAPER['GPU'][0]} us "
+        f"[{PAPER['GPU'][1]}, {PAPER['GPU'][2]}] | {PAPER['speedup_gpu']}x over GPU"
+    )
+    record_report("Table I: hardware comparison", lines)
+
+    assert comparison.fpga.mean_us == pytest.approx(PAPER["FPGA"], rel=0.15)
+    assert comparison.cpu.mean_us == pytest.approx(PAPER["CPU"][0], rel=0.10)
+    assert comparison.cpu.ci_low_us == pytest.approx(PAPER["CPU"][1], rel=0.25)
+    assert comparison.cpu.ci_high_us == pytest.approx(PAPER["CPU"][2], rel=0.10)
+    assert comparison.gpu.mean_us == pytest.approx(PAPER["GPU"][0], rel=0.10)
+    # Shape claims: ordering and orders-of-magnitude speedup.
+    assert comparison.fpga.mean_us < comparison.gpu.mean_us < comparison.cpu.mean_us
+    assert comparison.speedup_over_gpu == pytest.approx(PAPER["speedup_gpu"], rel=0.2)
+
+
+def bench_csd_simulated_inference(benchmark, bench_model):
+    """Wall-clock cost of one simulated CSD inference (simulator speed)."""
+    import numpy as np
+
+    engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
+                             sequence_length=100)
+    sequence = np.random.default_rng(0).integers(0, 278, size=100)
+    result = benchmark(engine.infer_sequence, sequence)
+    assert 0.0 <= result.probability <= 1.0
+
+
+def bench_cpu_baseline_functional(benchmark, bench_model):
+    """Wall-clock cost of the CPU baseline's real forward pass."""
+    import numpy as np
+
+    weights = HostWeights.from_model(bench_model)
+    baseline = CpuInferenceBaseline(weights)
+    sequence = np.random.default_rng(0).integers(0, 278, size=100)
+    probability = benchmark(baseline.infer_sequence, sequence)
+    assert 0.0 <= probability <= 1.0

@@ -1,0 +1,75 @@
+"""Table II — ransomware dataset overview, plus the Appendix A numbers.
+
+Regenerates the family/variant/behaviour table and validates the dataset
+construction constants: 13,340 ransomware + 15,660 benign = 29,000
+sequences of length 100, 46% ransomware.  (The paper's prose says "78
+variants" while its own Table II sums to 76; we reproduce the table.)
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, record_report
+from repro.ransomware.dataset import (
+    PAPER_BENIGN_SEQUENCES,
+    PAPER_RANSOMWARE_SEQUENCES,
+    PAPER_SEQUENCE_LENGTH,
+    build_dataset,
+)
+from repro.ransomware.families import ALL_FAMILIES, TOTAL_VARIANTS, table_ii
+from repro.ransomware.sandbox import CuckooSandbox
+
+PAPER_TABLE2 = {
+    "Ryuk": (5, True, True),
+    "Lockbit": (6, True, True),
+    "Teslacrypt": (10, True, False),
+    "Virlock": (11, True, False),
+    "Cryptowall": (8, True, False),
+    "Cerber": (9, True, False),
+    "Wannacry": (7, True, True),
+    "Locky": (6, True, False),
+    "Chimera": (9, True, False),
+    "BadRabbit": (5, True, True),
+}
+
+
+def bench_table2_rows(benchmark):
+    """The family table itself."""
+    rows = benchmark(table_ii)
+    lines = [f"{'Family':12s}{'Instances':>10s}{'Encryption':>12s}{'Propagation':>13s}"]
+    for name, variants, encrypts, propagates in rows:
+        lines.append(
+            f"{name:12s}{variants:>8d} v{'yes':>11s}{'yes' if propagates else 'no':>13s}"
+        )
+        assert PAPER_TABLE2[name] == (variants, encrypts, propagates)
+    lines.append(f"total variants: {TOTAL_VARIANTS} "
+                 "(paper table sums to 76; prose says 78)")
+    record_report("Table II: ransomware dataset overview", lines)
+
+
+def bench_dataset_synthesis(benchmark):
+    """Cost and shape of synthesising the dataset at benchmark scale."""
+    dataset = benchmark.pedantic(
+        build_dataset,
+        kwargs={"scale": BENCH_SCALE, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    expected_ransomware = round(PAPER_RANSOMWARE_SEQUENCES * BENCH_SCALE)
+    expected_benign = round(PAPER_BENIGN_SEQUENCES * BENCH_SCALE)
+    lines = [
+        f"scale {BENCH_SCALE}: {len(dataset)} sequences "
+        f"(paper full scale: {PAPER_RANSOMWARE_SEQUENCES + PAPER_BENIGN_SEQUENCES})",
+        f"ransomware fraction {dataset.ransomware_fraction:.3f} (paper 0.46)",
+        f"sequence length {dataset.sequence_length} (paper {PAPER_SEQUENCE_LENGTH})",
+    ]
+    record_report("Appendix A: dataset construction", lines)
+    assert len(dataset) == expected_ransomware + expected_benign
+    assert dataset.ransomware_fraction == pytest.approx(0.46, abs=0.01)
+    assert dataset.sequence_length == PAPER_SEQUENCE_LENGTH
+
+
+def bench_sandbox_trace(benchmark):
+    """Throughput of one sandbox detonation (the biggest family)."""
+    sandbox = CuckooSandbox(seed=0)
+    virlock = next(f for f in ALL_FAMILIES if f.name == "Virlock")
+    trace = benchmark(sandbox.execute_ransomware, virlock, 0)
+    assert len(trace) > 1000

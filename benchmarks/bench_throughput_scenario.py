@@ -1,0 +1,80 @@
+"""Deployment scenario — continuous background scanning throughput.
+
+Quantifies the paper's Section I deployment claim: "data centers can
+execute the classifier continuously in the background ... without
+exhausting the CPU or consuming inordinate amounts of energy."  Reports
+the CSD's sustained window-scanning rate (compute vs P2P-ingest ceiling),
+how many busy hosts one drive can monitor, and a multi-process incident
+replay through the full detection + mitigation stack.
+"""
+
+from benchmarks.conftest import record_report
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.core.throughput import throughput_report
+from repro.hw.smartssd import SmartSSD
+from repro.ransomware.benign import ALL_BENIGN_PROFILES
+from repro.ransomware.families import LOCKBIT
+from repro.ransomware.mitigation import ProtectedStorage
+from repro.ransomware.replay import HostReplay
+from repro.ransomware.sandbox import CuckooSandbox
+
+
+def bench_sustained_throughput(benchmark, bench_model):
+    engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
+                             sequence_length=100)
+
+    def compute():
+        return throughput_report(
+            engine, SmartSSD(), api_calls_per_second=2000, detection_stride=10
+        )
+
+    report = benchmark(compute)
+    lines = [
+        f"compute ceiling : {report.windows_per_second_compute:10.0f} windows/s",
+        f"ingest ceiling  : {report.windows_per_second_ingest:10.0f} windows/s (P2P)",
+        f"bottleneck      : {report.bottleneck}",
+        f"one busy host (2K calls/s, stride 10) uses "
+        f"{report.utilization:.2%} of capacity",
+        f"concurrent monitored hosts per CSD: {report.concurrent_streams:.0f}",
+    ]
+    record_report("Scenario: continuous background scanning", lines)
+    assert report.windows_per_second > 1000
+    assert report.concurrent_streams > 5
+
+
+def bench_multi_process_incident(benchmark, bench_model):
+    """One infected process among benign neighbours, end to end."""
+    engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
+                             sequence_length=100)
+    sandbox = CuckooSandbox(seed=12)
+    traces = [
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[0], 0, target_length=1200),
+        sandbox.execute_ransomware(LOCKBIT, 4),
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[12], 0, target_length=1200),
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[20], 0, target_length=1200),
+    ]
+
+    def run():
+        replay = HostReplay(
+            engine, ProtectedStorage(SmartSSD().ssd),
+            threshold=0.7, stride=20, confirmations=3,
+        )
+        outcomes = replay.run(traces, seed=3)
+        return replay.incident_summary(outcomes), outcomes
+
+    summary, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    infected = next(o for o in outcomes.values() if o.is_ransomware)
+    lines = [
+        f"processes: {len(outcomes)} (1 ransomware, "
+        f"{summary['benign_processes']} benign)",
+        f"ransomware caught: {summary['caught']}/1 "
+        f"(quarantined at interleaved step {infected.quarantined_at_step})",
+        f"false quarantines: {summary['falsely_quarantined']}",
+        f"encrypted writes blocked at the drive: {summary['writes_blocked']}",
+        f"benign writes admitted: {summary['benign_writes_admitted']}",
+    ]
+    record_report("Scenario: multi-process incident replay", lines)
+    assert summary["caught"] == 1
+    assert summary["falsely_quarantined"] == 0
+    assert summary["writes_blocked"] > 0

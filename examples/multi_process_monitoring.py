@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Fleet-realistic monitoring: one infected process among many.
+
+A system housing a CSD does not see one clean trace — it sees API calls
+from dozens of processes interleaved.  This example replays an
+interleaved schedule of three benign applications and one Wannacry
+variant through the per-process detector bank, with consecutive-
+confirmation mitigation, and prints the incident timeline plus the
+drive's remaining monitoring headroom.
+
+Run:  python examples/multi_process_monitoring.py
+"""
+
+from repro import build_dataset
+from repro.core.throughput import throughput_report
+from repro.hw.smartssd import SmartSSD
+from repro.nn import TrainingConfig
+from repro.ransomware import CuckooSandbox, ProtectedStorage, train_detector
+from repro.ransomware.benign import ALL_BENIGN_PROFILES
+from repro.ransomware.families import WANNACRY
+from repro.ransomware.replay import HostReplay
+
+
+def main() -> None:
+    print("Training the detector...")
+    dataset = build_dataset(scale=0.08, seed=5)
+    detector, _, _ = train_detector(
+        dataset,
+        training=TrainingConfig(epochs=25, eval_every=5, learning_rate=0.005,
+                                restore_best_weights=True),
+        seed=0,
+    )
+    engine = detector.engine
+
+    print("Spinning up the host: 3 benign apps + 1 Wannacry variant...")
+    sandbox = CuckooSandbox(seed=17)
+    traces = [
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[0], 0, target_length=1500),   # editor
+        sandbox.execute_ransomware(WANNACRY, 2),
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[14], 0, target_length=1500),  # backup tool
+        sandbox.execute_benign(ALL_BENIGN_PROFILES[16], 0, target_length=1500),  # KeePass
+    ]
+    # High-confidence, 3-consecutive-confirmations policy: a process must
+    # sustain p >= 0.9 across three classified windows before the drive
+    # refuses its writes.
+    replay = HostReplay(
+        engine, ProtectedStorage(SmartSSD().ssd),
+        threshold=0.9, stride=20, confirmations=3,
+    )
+    outcomes = replay.run(traces, seed=1)
+
+    print("\nPer-process outcome:")
+    for outcome in outcomes.values():
+        kind = "RANSOMWARE" if outcome.is_ransomware else "benign"
+        if outcome.quarantined_at_step is not None:
+            state = (f"QUARANTINED at step {outcome.quarantined_at_step} "
+                     f"({outcome.writes_blocked} writes refused)")
+        else:
+            state = f"clean ({outcome.writes_admitted} writes admitted)"
+        print(f"  pid {outcome.process_id} {outcome.source:22s} [{kind:10s}] {state}")
+
+    summary = replay.incident_summary(outcomes)
+    print(f"\nIncident summary: {summary['caught']}/{summary['ransomware_processes']} "
+          f"infections stopped, {summary['falsely_quarantined']} false quarantines, "
+          f"{summary['writes_blocked']} malicious writes blocked at the drive")
+    if summary["falsely_quarantined"]:
+        print("note: an *encrypting backup tool* tripping the detector is the "
+              "known hard case — its bulk read-encrypt-replace loop is "
+              "behaviourally identical to ransomware. Operators allowlist "
+              "such tools (ProtectedStorage.release).")
+
+    report = throughput_report(engine, api_calls_per_second=2000, detection_stride=20)
+    print(f"\nMonitoring headroom: this CSD sustains "
+          f"{report.windows_per_second:.0f} windows/s "
+          f"({report.bottleneck}-bound) — roughly "
+          f"{report.concurrent_streams:.0f} hosts of this activity level")
+
+
+if __name__ == "__main__":
+    main()

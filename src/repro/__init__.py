@@ -1,0 +1,84 @@
+"""repro — CSD-based deep learning inference to combat ransomware.
+
+Reproduction of Friday et al., "Empowering Data Centers with Computational
+Storage Drive-Based Deep Learning Inference Functionality to Combat
+Ransomware" (DSN-S 2024).
+
+Quickstart::
+
+    from repro import build_dataset, train_detector
+
+    dataset = build_dataset(scale=0.1)
+    detector, history, test_split = train_detector(dataset)
+    print(detector.evaluate(test_split))
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch NumPy deep learning (offline training).
+``repro.fixedpoint``
+    Scale-10^6 integer arithmetic (the FPGA's number format).
+``repro.hw``
+    FPGA / SmartSSD / PCIe / DDR timing simulation.
+``repro.core``
+    The CSD inference engine (the paper's contribution).
+``repro.baselines``
+    CPU and GPU comparison baselines (Table I).
+``repro.ransomware``
+    Dataset synthesis, detection, mitigation, CTI updates.
+"""
+
+from repro.baselines import (
+    CpuInferenceBaseline,
+    GpuInferenceBaseline,
+    format_table,
+    hardware_comparison,
+)
+from repro.core import (
+    CSDInferenceEngine,
+    EngineConfig,
+    HostWeights,
+    ModelDimensions,
+    OptimizationLevel,
+    engine_at_level,
+    kernel_breakdown,
+    optimization_sweep,
+)
+from repro.nn import (
+    SequenceClassifier,
+    Trainer,
+    TrainingConfig,
+    dump_weights,
+    load_weights,
+)
+from repro.ransomware import (
+    RansomwareDetector,
+    build_dataset,
+    train_detector,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSDInferenceEngine",
+    "CpuInferenceBaseline",
+    "EngineConfig",
+    "GpuInferenceBaseline",
+    "HostWeights",
+    "ModelDimensions",
+    "OptimizationLevel",
+    "RansomwareDetector",
+    "SequenceClassifier",
+    "Trainer",
+    "TrainingConfig",
+    "build_dataset",
+    "dump_weights",
+    "engine_at_level",
+    "format_table",
+    "hardware_comparison",
+    "kernel_breakdown",
+    "load_weights",
+    "optimization_sweep",
+    "train_detector",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""CPU and GPU baselines plus the Table I comparison harness."""
+
+from repro.baselines.comparison import (
+    ComparisonRow,
+    HardwareComparison,
+    format_table,
+    hardware_comparison,
+)
+from repro.baselines.cpu import (
+    CalibratedLatencyModel,
+    CpuInferenceBaseline,
+    PAPER_CPU_MEAN_US,
+    PAPER_CPU_MODEL,
+    PAPER_CPU_SIGMA_US,
+)
+from repro.baselines.gpu import (
+    GpuCostModel,
+    GpuInferenceBaseline,
+    PAPER_GPU_MEAN_US,
+    PAPER_GPU_MODEL,
+    PAPER_GPU_SIGMA_US,
+)
+from repro.baselines.statistics import (
+    LatencySummary,
+    mean_confidence_interval,
+    normal_interval,
+)
+
+__all__ = [
+    "CalibratedLatencyModel",
+    "ComparisonRow",
+    "CpuInferenceBaseline",
+    "GpuCostModel",
+    "GpuInferenceBaseline",
+    "HardwareComparison",
+    "LatencySummary",
+    "PAPER_CPU_MEAN_US",
+    "PAPER_CPU_MODEL",
+    "PAPER_CPU_SIGMA_US",
+    "PAPER_GPU_MEAN_US",
+    "PAPER_GPU_MODEL",
+    "PAPER_GPU_SIGMA_US",
+    "format_table",
+    "hardware_comparison",
+    "mean_confidence_interval",
+    "normal_interval",
+]

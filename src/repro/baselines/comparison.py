@@ -1,0 +1,108 @@
+"""Table I assembly: FPGA vs CPU vs GPU per-item execution time.
+
+:func:`hardware_comparison` runs the three paths — the CSD engine's
+deterministic hardware-emulation figure (the paper lists its CI as N/A for
+exactly this reason) and the two calibrated baseline distributions — and
+returns the table rows plus the headline speedup factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines.cpu import CpuInferenceBaseline
+from repro.baselines.gpu import GpuInferenceBaseline
+from repro.baselines.statistics import LatencySummary, normal_interval
+from repro.core.engine import CSDInferenceEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One Table I row."""
+
+    device: str
+    mean_us: float
+    ci_low_us: float | None    # None renders as the paper's "N/A"
+    ci_high_us: float | None
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareComparison:
+    """The full Table I plus derived speedups."""
+
+    fpga: ComparisonRow
+    cpu: ComparisonRow
+    gpu: ComparisonRow
+
+    @property
+    def speedup_over_cpu(self) -> float:
+        return self.cpu.mean_us / self.fpga.mean_us
+
+    @property
+    def speedup_over_gpu(self) -> float:
+        """The paper's headline: 344.6x over the A100."""
+        return self.gpu.mean_us / self.fpga.mean_us
+
+    def rows(self) -> list:
+        return [self.fpga, self.cpu, self.gpu]
+
+
+def _row_from_summary(device: str, summary: LatencySummary) -> ComparisonRow:
+    return ComparisonRow(
+        device=device,
+        mean_us=summary.mean_us,
+        ci_low_us=summary.ci_low_us,
+        ci_high_us=summary.ci_high_us,
+    )
+
+
+def hardware_comparison(
+    engine: CSDInferenceEngine,
+    cpu: CpuInferenceBaseline,
+    gpu: GpuInferenceBaseline,
+    trials: int = 1000,
+    seed: int = 0,
+) -> HardwareComparison:
+    """Measure all three devices and assemble Table I.
+
+    Parameters
+    ----------
+    engine:
+        A loaded CSD engine (use the FIXED_POINT level for the paper's
+        configuration).
+    cpu, gpu:
+        Baselines built over the *same* weights as the engine.
+    trials:
+        Sample count for each baseline's latency distribution.
+    seed:
+        Base RNG seed (the GPU stream is offset so draws are independent).
+    """
+    fpga_row = ComparisonRow(
+        device="FPGA",
+        mean_us=engine.per_item_microseconds(),
+        ci_low_us=None,
+        ci_high_us=None,
+    )
+    cpu_summary = normal_interval(cpu.sample_per_item_latencies(trials, seed=seed))
+    gpu_summary = normal_interval(gpu.sample_per_item_latencies(trials, seed=seed + 1))
+    return HardwareComparison(
+        fpga=fpga_row,
+        cpu=_row_from_summary("CPU", cpu_summary),
+        gpu=_row_from_summary("GPU", gpu_summary),
+    )
+
+
+def format_table(comparison: HardwareComparison) -> str:
+    """Render the comparison in the paper's Table I layout."""
+    lines = [f"{'':6s}{'Execution time':>18s}   {'95% CI':>34s}"]
+    for row in comparison.rows():
+        if row.ci_low_us is None:
+            ci = "N/A"
+        else:
+            ci = f"{row.ci_low_us:.5f} us - {row.ci_high_us:.5f} us"
+        lines.append(f"{row.device:6s}{row.mean_us:>15.5f} us   {ci:>34s}")
+    lines.append(
+        f"speedup over CPU: {comparison.speedup_over_cpu:.1f}x, "
+        f"over GPU: {comparison.speedup_over_gpu:.1f}x"
+    )
+    return "\n".join(lines)

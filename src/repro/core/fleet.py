@@ -1,0 +1,179 @@
+"""Multi-CSD fleet planning (paper Section II).
+
+"the SmartSSD represents a scalable solution ... allowing for the
+installation of multiple devices within a single node."  For the
+background-scanning deployment that means capacity planning: given a set
+of monitored streams (hosts/VMs, each producing API calls at some rate)
+and the per-device scanning throughput, how many CSDs does a node need,
+how should streams map onto devices, and what happens when a device
+fails?
+
+:class:`FleetPlanner` answers those with first-fit-decreasing assignment
+over the per-device window budget, plus a failure-rebalance step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.throughput import ThroughputReport
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitoredStream:
+    """One host/VM whose API-call stream the fleet must scan."""
+
+    name: str
+    api_calls_per_second: float
+    detection_stride: int = 10
+
+    def __post_init__(self) -> None:
+        if self.api_calls_per_second <= 0:
+            raise ValueError(f"{self.name}: call rate must be positive")
+        if self.detection_stride < 1:
+            raise ValueError(f"{self.name}: stride must be >= 1")
+
+    @property
+    def windows_per_second(self) -> float:
+        return self.api_calls_per_second / self.detection_stride
+
+
+@dataclasses.dataclass
+class DeviceAssignment:
+    """Streams placed on one CSD."""
+
+    device_index: int
+    capacity_windows_per_second: float
+    streams: list = dataclasses.field(default_factory=list)
+
+    @property
+    def load_windows_per_second(self) -> float:
+        return sum(stream.windows_per_second for stream in self.streams)
+
+    @property
+    def utilization(self) -> float:
+        return self.load_windows_per_second / self.capacity_windows_per_second
+
+    def fits(self, stream: MonitoredStream, headroom: float) -> bool:
+        budget = self.capacity_windows_per_second * headroom
+        return self.load_windows_per_second + stream.windows_per_second <= budget
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetPlan:
+    """The planner's output."""
+
+    assignments: tuple
+    headroom: float
+
+    @property
+    def devices_needed(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def peak_utilization(self) -> float:
+        return max(a.utilization for a in self.assignments)
+
+    def device_of(self, stream_name: str) -> int:
+        for assignment in self.assignments:
+            if any(s.name == stream_name for s in assignment.streams):
+                return assignment.device_index
+        raise KeyError(f"stream {stream_name!r} not in plan")
+
+
+class FleetPlanner:
+    """Sizes and balances a node's CSD fleet.
+
+    Parameters
+    ----------
+    device_report:
+        One device's scanning capability (from
+        :func:`repro.core.throughput.throughput_report`); only its
+        deliverable ``windows_per_second`` is used.
+    headroom:
+        Fraction of a device's capacity the planner may commit (0.8
+        leaves 20% for bursts and model-update downtime).
+    """
+
+    def __init__(self, device_report: ThroughputReport, headroom: float = 0.8):
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+        self.capacity = device_report.windows_per_second
+        self.headroom = headroom
+
+    def plan(self, streams) -> FleetPlan:
+        """First-fit-decreasing placement of streams onto devices.
+
+        Raises
+        ------
+        ValueError
+            If any single stream exceeds one device's usable budget (it
+            cannot be split — windows of one process carry a recurrent
+            state).
+        """
+        streams = sorted(streams, key=lambda s: s.windows_per_second, reverse=True)
+        budget = self.capacity * self.headroom
+        for stream in streams:
+            if stream.windows_per_second > budget:
+                raise ValueError(
+                    f"stream {stream.name!r} needs "
+                    f"{stream.windows_per_second:.0f} windows/s but one device "
+                    f"provides {budget:.0f}; lower its stride"
+                )
+        assignments: list = []
+        for stream in streams:
+            for assignment in assignments:
+                if assignment.fits(stream, self.headroom):
+                    assignment.streams.append(stream)
+                    break
+            else:
+                assignment = DeviceAssignment(
+                    device_index=len(assignments),
+                    capacity_windows_per_second=self.capacity,
+                )
+                assignment.streams.append(stream)
+                assignments.append(assignment)
+        return FleetPlan(assignments=tuple(assignments), headroom=self.headroom)
+
+    def rebalance_after_failure(self, plan: FleetPlan, failed_device: int) -> FleetPlan:
+        """Re-place a failed device's streams across the fleet.
+
+        Survivors keep their existing load (no churn for unaffected
+        streams); the orphaned streams go through first-fit again, adding
+        devices only if the survivors cannot absorb them.
+        """
+        survivors = [
+            DeviceAssignment(
+                device_index=a.device_index,
+                capacity_windows_per_second=a.capacity_windows_per_second,
+                streams=list(a.streams),
+            )
+            for a in plan.assignments
+            if a.device_index != failed_device
+        ]
+        orphans = []
+        for assignment in plan.assignments:
+            if assignment.device_index == failed_device:
+                orphans = sorted(
+                    assignment.streams, key=lambda s: s.windows_per_second,
+                    reverse=True,
+                )
+        if not orphans and not any(
+            a.device_index == failed_device for a in plan.assignments
+        ):
+            raise KeyError(f"no device {failed_device} in plan")
+        next_index = max((a.device_index for a in plan.assignments), default=-1) + 1
+        for stream in orphans:
+            for assignment in survivors:
+                if assignment.fits(stream, self.headroom):
+                    assignment.streams.append(stream)
+                    break
+            else:
+                replacement = DeviceAssignment(
+                    device_index=next_index,
+                    capacity_windows_per_second=self.capacity,
+                )
+                next_index += 1
+                replacement.streams.append(stream)
+                survivors.append(replacement)
+        return FleetPlan(assignments=tuple(survivors), headroom=self.headroom)

@@ -1,0 +1,15 @@
+"""The five-kernel decomposition of the LSTM forward pass (Fig. 2)."""
+
+from repro.core.kernels.base import Kernel, KernelTiming
+from repro.core.kernels.gates import GATE_ACTIVATIONS, GatesKernel
+from repro.core.kernels.hidden_state import HiddenStateKernel
+from repro.core.kernels.preprocess import PreprocessKernel
+
+__all__ = [
+    "GATE_ACTIVATIONS",
+    "GatesKernel",
+    "HiddenStateKernel",
+    "Kernel",
+    "KernelTiming",
+    "PreprocessKernel",
+]

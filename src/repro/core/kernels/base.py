@@ -1,0 +1,68 @@
+"""Kernel abstraction shared by the three kernel implementations.
+
+A kernel couples two things:
+
+* **function** — the numeric computation (float or fixed-point), which is
+  executed for real so the engine produces actual predictions; and
+* **timing** — an HLS-style latency estimate built from
+  :mod:`repro.hw.hls` loop models, parameterised by the optimisation level.
+
+Timing semantics follow Vitis HLS reporting conventions:
+
+* ``fill_latency_cycles`` — cycles from invocation until the first result
+  set is complete (pipeline fill + drain for one item);
+* ``steady_ii_cycles`` — cycles between consecutive item results once the
+  kernel's pipeline is primed;
+* ``reported_cycles`` — the number the paper's Fig. 3 plots.  For a kernel
+  whose datapath is fully spatially unrolled and pipelined at II=1 (the
+  fixed-point ``kernel_gates``), HLS reports the initiation interval —
+  one cycle — as its per-item execution time; every other configuration
+  reports the fill latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import EngineConfig
+from repro.hw.clock import ClockDomain
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTiming:
+    """Latency report for one kernel under one configuration."""
+
+    kernel: str
+    fill_latency_cycles: int
+    steady_ii_cycles: int
+    reports_ii: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fill_latency_cycles < 0 or self.steady_ii_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+
+    @property
+    def reported_cycles(self) -> int:
+        """The per-item figure under the paper's accounting convention."""
+        if self.reports_ii:
+            return self.steady_ii_cycles
+        return self.fill_latency_cycles
+
+    def reported_microseconds(self, clock: ClockDomain) -> float:
+        return clock.cycles_to_microseconds(self.reported_cycles)
+
+
+class Kernel:
+    """Base class for the engine's kernels.
+
+    Subclasses implement :meth:`timing` (latency under the configured
+    optimisation level) and their own ``run_*`` compute methods.
+    """
+
+    name = "kernel"
+
+    def __init__(self, config: EngineConfig):
+        self.config = config
+
+    def timing(self) -> KernelTiming:
+        raise NotImplementedError

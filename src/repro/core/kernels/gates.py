@@ -1,0 +1,235 @@
+"""``kernel_gates`` — the i/f/o/C' gate computations (paper Section III-B).
+
+Each of the four compute units evaluates one gate:
+``act(W_g [h_{t-1}, x_t] + b_g)`` — sigmoid for i/f/o, softsign for the
+candidate C' (the deployed tanh replacement).  The CUs run in parallel
+(Section III-C), so the stage's duration is the *maximum* over CUs; with
+fewer CUs than gates (the CU-count ablation) each CU evaluates its share
+of gates back to back.
+
+Timing structure per CU (one gate, H=32 outputs over F=H+O=40 inputs):
+
+* **Vanilla** — the input loop is pipelined with 32 parallel partial
+  accumulators, but the floating-point accumulation carries a loop
+  dependency, so the achieved II is the fadd latency (8 cycles).
+* **II-optimised** — ``UNROLL factor=4`` + complete ``ARRAY_PARTITION``.
+  Unrolling deepens the iteration with a float adder tree, and completely
+  partitioning the 1,280-element weight buffer into fabric registers
+  builds mux trees wide enough that the scheduler's achieved II *worsens*
+  — a well-documented HLS pathology for large complete partitions, and
+  the reason the gates bar in Fig. 3 grows at the II rung.  (The paper's
+  text only credits II minimisation for ``kernel_hidden_state``, which
+  matches.)
+* **Fixed-point** — every MAC maps onto a DSP slice with dedicated
+  cascade paths (no fabric muxing), the integer accumulator has
+  single-cycle latency, and the whole 32 x 40 mat-vec unrolls spatially
+  across 1,280 DSPs per CU (4 x 1,280 = 5,120 of the u200's 6,840).  The
+  datapath initiates every cycle, so HLS reports the per-item execution
+  time as the initiation interval: one cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import EngineConfig, GATE_NAMES
+from repro.core.kernels.base import Kernel, KernelTiming
+from repro.core.weights import HostWeights, QuantizedHostWeights
+from repro.fixedpoint.activations import qsigmoid, qsoftsign
+from repro.fixedpoint.ops import qaffine
+from repro.hw.hls import DataflowRegion, FIXED_OPS, FLOAT_OPS, HlsLoop, LoopNest, PragmaSet
+
+#: Activation used by each gate in the deployed design.
+GATE_ACTIVATIONS = {"i": "sigmoid", "f": "sigmoid", "o": "sigmoid", "c": "softsign"}
+
+#: Depth of the PLAN piecewise-linear sigmoid / softsign epilogue stage.
+_FLOAT_ACTIVATION_DEPTH = 16
+_FIXED_ACTIVATION_DEPTH = 4
+
+#: Elements a complete-partitioned fabric buffer can mux per cycle; larger
+#: partitions inflate the achieved II (the Fig. 3 gates regression).
+_PARTITION_MUX_CAPACITY = 32
+
+
+def _float_sigmoid(x: np.ndarray) -> np.ndarray:
+    from repro.nn.activations import sigmoid
+
+    return sigmoid(x)
+
+
+def _float_softsign(x: np.ndarray) -> np.ndarray:
+    from repro.nn.activations import softsign
+
+    return softsign(x)
+
+
+class GatesKernel(Kernel):
+    """All ``kernel_gates`` compute units of the engine."""
+
+    name = "kernel_gates"
+
+    def __init__(self, config: EngineConfig):
+        super().__init__(config)
+        self._weights: HostWeights | None = None
+        self._quantized: QuantizedHostWeights | None = None
+
+    # ------------------------------------------------------------------
+    # Function
+    # ------------------------------------------------------------------
+
+    def load_weights(self, weights: HostWeights, quantized: QuantizedHostWeights | None) -> None:
+        """Receive gate matrices and biases from the host program."""
+        self._weights = weights
+        if self.config.optimization.uses_fixed_point:
+            if quantized is None:
+                raise ValueError("fixed-point mode requires quantised weights")
+            self._quantized = quantized
+
+    def run(self, hidden_prev: np.ndarray, embedding_copies: list) -> dict:
+        """Evaluate all four gates for one item.
+
+        Parameters
+        ----------
+        hidden_prev:
+            ``h_{t-1}`` — float64 (vanilla/II) or quantised int64
+            (fixed-point), shape ``(H,)``.
+        embedding_copies:
+            The per-CU embedding copies produced by ``kernel_preprocess``;
+            one per CU.  Each CU consumes its own copy, as in the paper.
+
+        Returns
+        -------
+        dict
+            Gate name → activated vector (``i``, ``f``, ``o``, ``c``).
+        """
+        if len(embedding_copies) != self.config.num_gate_cus:
+            raise ValueError(
+                f"expected {self.config.num_gate_cus} embedding copies, got "
+                f"{len(embedding_copies)}"
+            )
+        fixed = self.config.optimization.uses_fixed_point
+        outputs = {}
+        for index, gate in enumerate(GATE_NAMES):
+            cu_index = index % self.config.num_gate_cus
+            x_t = embedding_copies[cu_index]
+            concatenated = np.concatenate([hidden_prev, x_t])
+            if fixed:
+                params = self._quantized.gates[gate]
+                pre = qaffine(params.matrix, concatenated, params.bias, self._quantized.fmt)
+                if GATE_ACTIVATIONS[gate] == "sigmoid":
+                    outputs[gate] = qsigmoid(pre, self._quantized.fmt)
+                else:
+                    outputs[gate] = qsoftsign(pre, self._quantized.fmt)
+            else:
+                params = self._weights.gates[gate]
+                pre = params.matrix @ concatenated + params.bias
+                if GATE_ACTIVATIONS[gate] == "sigmoid":
+                    outputs[gate] = _float_sigmoid(pre)
+                else:
+                    outputs[gate] = _float_softsign(pre)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def _single_gate_timing(self) -> KernelTiming:
+        """Latency of one gate evaluation on one CU."""
+        dims = self.config.dimensions
+        fan_in = dims.gate_input_size
+        opt = self.config.optimization
+
+        if opt.uses_fixed_point:
+            # Full spatial unroll across DSP slices.  The h-side and
+            # x-side cascades are independent, so they sit in a DATAFLOW
+            # region (Section III-C's pragma) and run concurrently; a join
+            # adds the partials, rescales the product, and activates.
+            # Initiates every cycle.
+            def cascade(name: str, width: int) -> HlsLoop:
+                tree_levels = max(1, math.ceil(math.log2(width)))
+                return HlsLoop(
+                    name=name,
+                    trip_count=1,
+                    iteration_depth=FIXED_OPS["mul"].depth
+                    + tree_levels * FIXED_OPS["add"].depth,
+                    pragmas=PragmaSet(pipeline=True, target_ii=1, array_partition=True),
+                )
+
+            join = HlsLoop(
+                name="join_rescale_activate",
+                trip_count=1,
+                iteration_depth=FIXED_OPS["add"].depth
+                + FIXED_OPS["div"].depth       # rescale by the scale factor
+                + _FIXED_ACTIVATION_DEPTH,
+                pragmas=PragmaSet(pipeline=True, target_ii=1),
+            )
+            nest = LoopNest(
+                name=self.name,
+                loops=(
+                    DataflowRegion(
+                        name="matvec_dataflow",
+                        loops=(
+                            cascade("h_cascade", dims.hidden_size),
+                            cascade("x_cascade", dims.embedding_dim),
+                        ),
+                    ),
+                    join,
+                ),
+            )
+            return KernelTiming(
+                kernel=self.name,
+                fill_latency_cycles=nest.latency_cycles,
+                steady_ii_cycles=1,
+                reports_ii=True,
+            )
+
+        mac_depth = FLOAT_OPS["mul"].depth + FLOAT_OPS["add"].depth
+        if opt.uses_ii_pragmas:
+            weight_elements = dims.hidden_size * fan_in
+            mux_ii = math.ceil(weight_elements / _PARTITION_MUX_CAPACITY)
+            matvec = HlsLoop(
+                name="matvec_stream",
+                trip_count=fan_in,
+                iteration_depth=mac_depth,
+                pragmas=PragmaSet(pipeline=True, target_ii=1, unroll=4, array_partition=True),
+                carried_dependency_ii=FLOAT_OPS["add"].depth,
+                shared_unit_ii=mux_ii,
+                unroll_depth_penalty=FLOAT_OPS["add"].depth,
+            )
+        else:
+            matvec = HlsLoop(
+                name="matvec_stream",
+                trip_count=fan_in,
+                iteration_depth=mac_depth,
+                pragmas=PragmaSet(pipeline=True, target_ii=1),
+                carried_dependency_ii=FLOAT_OPS["add"].depth,
+                memory_accesses_per_iteration=2,  # h/x element reads; weights stream via AXI
+            )
+        activation = HlsLoop(
+            name="activation",
+            trip_count=1,  # all H lanes activate in parallel registers
+            iteration_depth=_FLOAT_ACTIVATION_DEPTH,
+        )
+        nest = LoopNest(name=self.name, loops=(matvec, activation))
+        return KernelTiming(
+            kernel=self.name,
+            fill_latency_cycles=nest.latency_cycles,
+            steady_ii_cycles=matvec.steady_state_ii,
+        )
+
+    def timing(self) -> KernelTiming:
+        """Stage timing: max over CUs, times the gates each CU serialises.
+
+        With 4 CUs each runs one gate and the stage costs one gate's
+        latency; with 1 CU all four gates serialise onto it.
+        """
+        single = self._single_gate_timing()
+        serial_factor = self.config.gates_per_cu
+        return KernelTiming(
+            kernel=self.name,
+            fill_latency_cycles=single.fill_latency_cycles * serial_factor,
+            steady_ii_cycles=single.steady_ii_cycles * serial_factor,
+            reports_ii=single.reports_ii,
+        )

@@ -1,0 +1,165 @@
+"""Mixed-precision exploration (paper Section VI, future work).
+
+"Exploring mixed precision alternatives on CSDs would be a notable
+endeavor": perform operations in lower precision where high precision is
+not necessary and in higher precision where accuracy is required.
+
+For the scale-factor arithmetic of this design, "precision" is the scale:
+a smaller scale is a coarser (cheaper) format — narrower multipliers,
+shallower rescale divides.  The natural mixed assignment for an LSTM is:
+
+* **gates** (i/f/o/C' mat-vecs) — low precision.  Gate outputs pass
+  through saturating activations, which wash out small input errors.
+* **cell state / head** — high precision.  ``C_t`` integrates over all
+  timesteps, so its quantisation error *accumulates*; the FC head decides
+  the classification.
+
+:class:`MixedPrecisionPolicy` assigns a :class:`~repro.fixedpoint.qformat.
+QFormat` per stage; :func:`evaluate_policy` runs a functional forward
+pass under the policy (rescaling at format boundaries, as DSP datapath
+width converters would) and reports output divergence from the
+full-precision engine plus a DSP cost estimate, so the benchmark can map
+the accuracy/cost frontier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.weights import HostWeights
+from repro.fixedpoint.activations import qsigmoid, qsoftsign
+from repro.fixedpoint.ops import qadd, qaffine, qdot, qmul
+from repro.fixedpoint.qformat import QFormat
+
+
+@dataclasses.dataclass(frozen=True)
+class MixedPrecisionPolicy:
+    """Per-stage number formats.
+
+    The paper's deployed design is the uniform policy
+    ``MixedPrecisionPolicy(QFormat(10**6), QFormat(10**6))``.
+    """
+
+    gate_format: QFormat
+    state_format: QFormat
+
+    def rescale(self, value, source: QFormat, target: QFormat):
+        """Convert quantised values between formats (width converter)."""
+        if source.scale == target.scale:
+            return value
+        scaled = np.asarray(value, dtype=np.int64) * target.scale
+        result = np.rint(scaled / source.scale).astype(np.int64)
+        if result.ndim == 0:
+            return int(result)
+        return result
+
+
+def _dsp_cost_units(fmt: QFormat) -> int:
+    """Relative DSP cost of a MAC at the given scale.
+
+    A DSP48E2 multiplies 27x18 bits natively; wider products cascade
+    additional slices.  Scale 10^6 values span ~2^21 for unit-range
+    weights, so products need ~42 bits (2 slices); scale 10^3 fits a
+    single slice.
+    """
+    import math
+
+    bits = max(1, math.ceil(math.log2(fmt.scale))) + 4  # + headroom for values > 1
+    product_bits = 2 * bits
+    return max(1, math.ceil(product_bits / 44))
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyEvaluation:
+    """Outcome of running a policy over a sequence batch."""
+
+    policy: MixedPrecisionPolicy
+    max_probability_error: float
+    mean_probability_error: float
+    decision_agreement: float
+    relative_dsp_cost: float
+
+
+class MixedPrecisionLstm:
+    """Functional LSTM forward pass under a mixed-precision policy."""
+
+    def __init__(self, weights: HostWeights, policy: MixedPrecisionPolicy):
+        self.policy = policy
+        self.weights = weights
+        gate_fmt = policy.gate_format
+        state_fmt = policy.state_format
+        self._gate_params = {
+            name: (gate_fmt.quantize(gate.matrix), gate_fmt.quantize(gate.bias))
+            for name, gate in weights.gates.items()
+        }
+        self._embedding = gate_fmt.quantize(weights.embedding)
+        self._fc_weights = state_fmt.quantize(weights.fc_weights)
+        self._fc_bias = int(state_fmt.quantize(weights.fc_bias))
+        self._hidden_size = weights.gates["i"].matrix.shape[0]
+
+    def infer_sequence(self, token_ids) -> float:
+        """Classify one sequence; returns the probability."""
+        gate_fmt = self.policy.gate_format
+        state_fmt = self.policy.state_format
+        hidden_gate = np.zeros(self._hidden_size, dtype=np.int64)   # gate format
+        cell = np.zeros(self._hidden_size, dtype=np.int64)          # state format
+
+        for token in token_ids:
+            x_t = self._embedding[int(token)]
+            concatenated = np.concatenate([hidden_gate, x_t])
+            gates = {}
+            for name, (matrix, bias) in self._gate_params.items():
+                pre = qaffine(matrix, concatenated, bias, gate_fmt)
+                if name == "c":
+                    gates[name] = qsoftsign(pre, gate_fmt)
+                else:
+                    gates[name] = qsigmoid(pre, gate_fmt)
+            # Promote gate outputs to the state format for the cell update.
+            i_t = self.policy.rescale(gates["i"], gate_fmt, state_fmt)
+            f_t = self.policy.rescale(gates["f"], gate_fmt, state_fmt)
+            o_t = self.policy.rescale(gates["o"], gate_fmt, state_fmt)
+            c_bar = self.policy.rescale(gates["c"], gate_fmt, state_fmt)
+            cell = qadd(qmul(f_t, cell, state_fmt), qmul(i_t, c_bar, state_fmt))
+            hidden_state = qmul(o_t, qsoftsign(cell, state_fmt), state_fmt)
+            # Demote h_t back to the gate format for the next item.
+            hidden_gate = np.asarray(
+                self.policy.rescale(hidden_state, state_fmt, gate_fmt), dtype=np.int64
+            )
+
+        logit = qadd(qdot(self._fc_weights, hidden_state, state_fmt), self._fc_bias)
+        return float(state_fmt.dequantize(qsigmoid(logit, state_fmt)))
+
+
+def evaluate_policy(
+    weights: HostWeights,
+    policy: MixedPrecisionPolicy,
+    sequences: np.ndarray,
+    reference_probabilities: np.ndarray,
+) -> PolicyEvaluation:
+    """Run ``sequences`` under ``policy`` and compare with a reference.
+
+    ``reference_probabilities`` should come from the full-precision
+    (float or uniform 10^6) engine over the same sequences.
+    """
+    sequences = np.asarray(sequences)
+    reference = np.asarray(reference_probabilities, dtype=np.float64)
+    if sequences.shape[0] != reference.shape[0]:
+        raise ValueError("sequence/reference count mismatch")
+    lstm = MixedPrecisionLstm(weights, policy)
+    probabilities = np.array([lstm.infer_sequence(row) for row in sequences])
+    errors = np.abs(probabilities - reference)
+    agreement = float(np.mean((probabilities >= 0.5) == (reference >= 0.5)))
+
+    uniform_high_cost = 2 * _dsp_cost_units(QFormat(10**6))
+    policy_cost = _dsp_cost_units(policy.gate_format) + _dsp_cost_units(
+        policy.state_format
+    )
+    return PolicyEvaluation(
+        policy=policy,
+        max_probability_error=float(errors.max()),
+        mean_probability_error=float(errors.mean()),
+        decision_agreement=agreement,
+        relative_dsp_cost=policy_cost / uniform_high_cost,
+    )

@@ -1,0 +1,121 @@
+"""Timing reports: per-kernel breakdowns and end-to-end sequence latency.
+
+:class:`InferenceTiming` is what the engine returns alongside each
+prediction; :func:`kernel_breakdown` regenerates the Fig. 3 data — the
+per-item reported time of each kernel at a given optimisation level — and
+:func:`optimization_sweep` produces the whole figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.hw.clock import ClockDomain
+from repro.hw.dataflow import StageTiming, schedule
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelReport:
+    """One kernel's Fig. 3 entry."""
+
+    kernel: str
+    cycles: int
+    microseconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceTiming:
+    """Timing of one full-sequence inference on the CSD."""
+
+    per_item_reports: tuple        # (KernelReport, ...) in stage order
+    per_item_cycles: int           # sum of reported per-item kernel cycles
+    sequence_cycles: int           # end-to-end with pipeline overlap
+    classification_cycles: int     # one-time FC epilogue
+    clock: ClockDomain
+
+    @property
+    def per_item_microseconds(self) -> float:
+        """The paper's headline per-forward-pass figure (2.15133 us)."""
+        return self.clock.cycles_to_microseconds(self.per_item_cycles)
+
+    @property
+    def sequence_microseconds(self) -> float:
+        """Whole-sequence latency including overlap and the FC epilogue."""
+        return self.clock.cycles_to_microseconds(
+            self.sequence_cycles + self.classification_cycles
+        )
+
+
+def stage_timing_from_kernels(preprocess, gates, hidden) -> StageTiming:
+    """Assemble per-item stage cycles from the three kernel timings."""
+    return StageTiming(
+        preprocess=preprocess.reported_cycles,
+        gates=gates.reported_cycles,
+        hidden_state=hidden.reported_cycles,
+    )
+
+
+def build_inference_timing(
+    config: EngineConfig,
+    preprocess,
+    gates,
+    hidden,
+    classification_cycles: int,
+    clock: ClockDomain,
+) -> InferenceTiming:
+    """Compute all timing views for one sequence inference."""
+    stage = stage_timing_from_kernels(preprocess, gates, hidden)
+    sequence_cycles = schedule(
+        stage,
+        num_items=config.dimensions.sequence_length,
+        preemptive=config.preemptive_preprocess,
+    )
+    reports = tuple(
+        KernelReport(
+            kernel=timing.kernel,
+            cycles=timing.reported_cycles,
+            microseconds=clock.cycles_to_microseconds(timing.reported_cycles),
+        )
+        for timing in (preprocess, gates, hidden)
+    )
+    return InferenceTiming(
+        per_item_reports=reports,
+        per_item_cycles=stage.serial_total,
+        sequence_cycles=sequence_cycles,
+        classification_cycles=classification_cycles,
+        clock=clock,
+    )
+
+
+def kernel_breakdown(config: EngineConfig) -> dict:
+    """Per-kernel reported microseconds for one configuration (one Fig. 3
+    bar group).
+
+    Returns a dict keyed ``preprocess`` / ``gates`` / ``hidden_state``
+    plus ``total``.
+    """
+    # Imported here to avoid a module cycle (engine imports timing).
+    from repro.core.engine import CSDInferenceEngine
+
+    engine = CSDInferenceEngine.build_unloaded(config)
+    clock = engine.device.clock
+    reports = {
+        "preprocess": engine.preprocess.timing().reported_microseconds(clock),
+        "gates": engine.gates.timing().reported_microseconds(clock),
+        "hidden_state": engine.hidden_state.timing().reported_microseconds(clock),
+    }
+    reports["total"] = sum(reports.values())
+    return reports
+
+
+def optimization_sweep(base_config: EngineConfig | None = None) -> dict:
+    """Fig. 3: the per-kernel breakdown at each optimisation rung."""
+    import dataclasses as _dc
+
+    base = base_config or EngineConfig()
+    sweep = {}
+    for level in OptimizationLevel:
+        config = _dc.replace(base, optimization=level)
+        sweep[level.name] = kernel_breakdown(config)
+    return sweep

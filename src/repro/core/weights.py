@@ -1,0 +1,190 @@
+"""Host-side weight preparation.
+
+The host program "ingests this text file amid initializing the FPGA"
+(Section III-A): it loads the offline-trained parameters, re-arranges them
+into the per-gate layout the kernels consume, and — when the engine runs
+in fixed-point mode — quantises everything by the scale factor *before*
+initialisation ("We multiply the floating-point values of weights, biases,
+and embeddings by this factor before the host initialization shown in
+Fig. 2", Section III-D).
+
+Kernel-facing layout: each gate ``g`` owns a matrix ``W_g`` of shape
+``(H, H + O)`` acting on the concatenated column ``[h_{t-1}, x_t]`` (the
+paper writes the gates as ``W [h_{t-1}, x_t] + b``), plus a bias ``b_g`` of
+shape ``(H,)``.  These are derived from the Keras-layout arrays stored in
+the weight file (``W_x`` of shape ``(O, 4H)`` packed ``[i, f, c, o]``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import ModelDimensions
+from repro.fixedpoint.qformat import QFormat
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import load_weights
+
+#: Keras gate packing order along the 4H axis of W_x / W_h / b.
+_KERAS_GATE_ORDER = ("i", "f", "c", "o")
+
+
+@dataclasses.dataclass(frozen=True)
+class GateWeights:
+    """One gate's kernel-facing parameters."""
+
+    name: str
+    matrix: np.ndarray   # (H, H+O), acts on [h_{t-1}, x_t]
+    bias: np.ndarray     # (H,)
+
+
+class HostWeights:
+    """All parameters in the layout the CSD kernels consume.
+
+    Use :meth:`from_model` (straight from a trained
+    :class:`~repro.nn.model.SequenceClassifier`) or :meth:`from_file`
+    (from the text weight file, the paper's deployment path).
+    """
+
+    def __init__(
+        self,
+        embedding: np.ndarray,
+        gate_weights: dict,
+        fc_weights: np.ndarray,
+        fc_bias: float,
+    ):
+        self.embedding = np.asarray(embedding, dtype=np.float64)
+        if self.embedding.ndim != 2:
+            raise ValueError(f"embedding must be 2-D, got shape {self.embedding.shape}")
+        self.gates = dict(gate_weights)
+        if set(self.gates) != set(_KERAS_GATE_ORDER):
+            raise ValueError(
+                f"expected gates {_KERAS_GATE_ORDER}, got {sorted(self.gates)}"
+            )
+        self.fc_weights = np.asarray(fc_weights, dtype=np.float64).reshape(-1)
+        self.fc_bias = float(fc_bias)
+
+        hidden = self.gates["i"].matrix.shape[0]
+        if self.fc_weights.shape[0] != hidden:
+            raise ValueError(
+                f"FC weights ({self.fc_weights.shape[0]}) must match hidden "
+                f"size ({hidden})"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _from_arrays(arrays: dict) -> "HostWeights":
+        embedding = arrays["embedding"]
+        w_x = arrays["lstm_W_x"]      # (O, 4H)
+        w_h = arrays["lstm_W_h"]      # (H, 4H)
+        bias = arrays["lstm_b"]       # (4H,)
+        hidden = w_h.shape[0]
+        if w_x.shape[1] != 4 * hidden or bias.shape[0] != 4 * hidden:
+            raise ValueError(
+                f"inconsistent LSTM shapes: W_x {w_x.shape}, W_h {w_h.shape}, "
+                f"b {bias.shape}"
+            )
+        gates = {}
+        for index, gate in enumerate(_KERAS_GATE_ORDER):
+            lo, hi = index * hidden, (index + 1) * hidden
+            # Keras computes x @ W_x[:, lo:hi] + h @ W_h[:, lo:hi]; as a
+            # matrix on the column [h, x] that is [W_h_g^T | W_x_g^T].
+            matrix = np.concatenate([w_h[:, lo:hi].T, w_x[:, lo:hi].T], axis=1)
+            gates[gate] = GateWeights(name=gate, matrix=matrix, bias=bias[lo:hi].copy())
+        return HostWeights(
+            embedding=embedding,
+            gate_weights=gates,
+            fc_weights=arrays["fc_W"].reshape(-1),
+            fc_bias=float(np.asarray(arrays["fc_b"]).reshape(-1)[0]),
+        )
+
+    @classmethod
+    def from_model(cls, model: SequenceClassifier) -> "HostWeights":
+        """Build directly from a trained in-memory model."""
+        table, w_x, w_h, b, fc_w, fc_b = model.get_weights()
+        return cls._from_arrays(
+            {
+                "embedding": table,
+                "lstm_W_x": w_x,
+                "lstm_W_h": w_h,
+                "lstm_b": b,
+                "fc_W": fc_w,
+                "fc_b": fc_b,
+            }
+        )
+
+    @classmethod
+    def from_file(cls, source) -> "HostWeights":
+        """Build from the text weight file (deployment path)."""
+        return cls._from_arrays(load_weights(source))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> ModelDimensions:
+        """Model dimensions implied by the array shapes."""
+        hidden, gate_input = self.gates["i"].matrix.shape
+        vocab, embedding_dim = self.embedding.shape
+        if gate_input != hidden + embedding_dim:
+            raise ValueError(
+                f"gate input width {gate_input} inconsistent with hidden "
+                f"{hidden} + embedding {embedding_dim}"
+            )
+        return ModelDimensions(
+            vocab_size=vocab, embedding_dim=embedding_dim, hidden_size=hidden
+        )
+
+    def total_bytes(self, bytes_per_value: int = 4) -> int:
+        """Size of the full parameter download to FPGA DRAM."""
+        values = self.embedding.size + sum(
+            g.matrix.size + g.bias.size for g in self.gates.values()
+        ) + self.fc_weights.size + 1
+        return values * bytes_per_value
+
+    # ------------------------------------------------------------------
+    # Quantisation
+    # ------------------------------------------------------------------
+
+    def quantized(self, fmt: QFormat) -> "QuantizedHostWeights":
+        """Quantise every array by the scale factor (Section III-D)."""
+        gates = {
+            name: QuantizedGateWeights(
+                name=name,
+                matrix=fmt.quantize(gate.matrix),
+                bias=fmt.quantize(gate.bias),
+            )
+            for name, gate in self.gates.items()
+        }
+        return QuantizedHostWeights(
+            embedding=fmt.quantize(self.embedding),
+            gates=gates,
+            fc_weights=fmt.quantize(self.fc_weights),
+            fc_bias=int(fmt.quantize(self.fc_bias)),
+            fmt=fmt,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedGateWeights:
+    """Fixed-point counterpart of :class:`GateWeights`."""
+
+    name: str
+    matrix: np.ndarray   # int64, (H, H+O)
+    bias: np.ndarray     # int64, (H,)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedHostWeights:
+    """All parameters pre-scaled to integers for the fixed-point kernels."""
+
+    embedding: np.ndarray   # int64, (M, O)
+    gates: dict             # name -> QuantizedGateWeights
+    fc_weights: np.ndarray  # int64, (H,)
+    fc_bias: int
+    fmt: QFormat

@@ -1,0 +1,35 @@
+"""Fixed-point arithmetic substrate (paper Section III-D).
+
+Implements the scale-factor-10^6 integer arithmetic the paper uses to move
+the LSTM's matrix math onto FPGA DSP slices, including the rounded rescale
+after every multiplication and exp-free activation functions.
+"""
+
+from repro.fixedpoint.activations import qsigmoid, qsoftsign, qtanh
+from repro.fixedpoint.ops import qadd, qaffine, qdot, qmatvec, qmul, qsub
+from repro.fixedpoint.qformat import PAPER_QFORMAT, PAPER_SCALE_FACTOR, QFormat
+from repro.fixedpoint.saturation import (
+    AuditResult,
+    OverflowAudit,
+    headroom_bits,
+    qsaturate,
+)
+
+__all__ = [
+    "AuditResult",
+    "OverflowAudit",
+    "PAPER_QFORMAT",
+    "PAPER_SCALE_FACTOR",
+    "QFormat",
+    "headroom_bits",
+    "qadd",
+    "qaffine",
+    "qdot",
+    "qmatvec",
+    "qmul",
+    "qsaturate",
+    "qsigmoid",
+    "qsoftsign",
+    "qsub",
+    "qtanh",
+]

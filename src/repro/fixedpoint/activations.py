@@ -1,0 +1,117 @@
+"""Fixed-point activation functions.
+
+The LSTM needs a sigmoid for its three gates and an S-shaped squashing
+function for cell modulation and output.  Section III-D of the paper
+replaces every ``tanh`` with ``softsign(x) = x / (|x| + 1)`` because
+softsign shares tanh's S-curve and asymptotes while avoiding ``exp()``,
+which is expensive to synthesise on an FPGA.
+
+* :func:`qsoftsign` is exact in fixed point up to rounding: with scale
+  ``S`` and quantised input ``q = x*S``, ``softsign(x)*S = q*S/(|q|+S)``.
+* :func:`qsigmoid` uses the classic PLAN piecewise-linear approximation
+  (Amin, Curtis & Hayes-Gill 1997), the standard FPGA sigmoid: maximum
+  absolute error below 0.019, monotone, symmetric around 0.5, and built
+  from shifts/adds only on real hardware.
+* :func:`qtanh` is provided for the softsign-vs-tanh ablation; it uses the
+  identity ``tanh(x) = 2*sigmoid(2x) - 1`` over the PLAN sigmoid so it too
+  stays exp-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.ops import _rounded_scale_division
+from repro.fixedpoint.qformat import QFormat
+
+
+def _rounded_elementwise_division(numerator, denominator):
+    """Round-half-away-from-zero division with array denominators.
+
+    ``denominator`` must be positive (softsign's ``|x| + 1`` always is).
+    """
+    numerator = np.asarray(numerator, dtype=np.int64)
+    denominator = np.asarray(denominator, dtype=np.int64)
+    half = denominator // 2
+    adjusted = np.where(numerator >= 0, numerator + half, numerator - half)
+    result = np.where(
+        numerator >= 0, adjusted // denominator, -((-adjusted) // denominator)
+    )
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def qsoftsign(q, fmt: QFormat):
+    """Fixed-point softsign: ``x / (|x| + 1)`` on quantised input.
+
+    With quantised input ``q = x * S`` the identity is exact up to one
+    rounding: ``softsign(x) * S = q * S / (|q| + S)``.  Output magnitude
+    is strictly below the quantised representation of 1.0.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    numerator = q * fmt.scale
+    denominator = np.abs(q) + fmt.scale
+    return _rounded_elementwise_division(numerator, denominator)
+
+
+# PLAN approximation segments for x >= 0: (x_low, x_high, slope, intercept)
+# sigmoid(x) ~= slope * x + intercept on each segment; saturates to 1 at x>=5.
+_PLAN_SEGMENTS = (
+    (0.0, 1.0, 0.25, 0.5),
+    (1.0, 2.375, 0.125, 0.625),
+    (2.375, 5.0, 0.03125, 0.84375),
+)
+
+
+def qsigmoid(q, fmt: QFormat):
+    """Fixed-point PLAN sigmoid on quantised input.
+
+    Uses symmetry ``sigmoid(-x) = 1 - sigmoid(x)`` so only the positive
+    half needs segments.  Slopes and intercepts are exact binary fractions
+    (1/4, 1/8, 1/32, ...) as in the original PLAN design, so on hardware
+    the multiply reduces to a shift.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    scalar = q.ndim == 0
+    q = np.atleast_1d(q)
+    magnitude = np.abs(q)
+
+    half = fmt.scale // 2
+    result = np.full(q.shape, fmt.scale, dtype=np.int64)  # saturation: 1.0
+    for x_low, x_high, slope, intercept in _PLAN_SEGMENTS:
+        q_low = int(round(x_low * fmt.scale))
+        q_high = int(round(x_high * fmt.scale))
+        in_segment = (magnitude >= q_low) & (magnitude < q_high)
+        if not np.any(in_segment):
+            continue
+        seg_value = (
+            _rounded_scale_division(
+                magnitude[in_segment] * int(round(slope * fmt.scale)), fmt.scale
+            )
+            + int(round(intercept * fmt.scale))
+        )
+        result[in_segment] = seg_value
+
+    negative = q < 0
+    result = np.where(negative, fmt.scale - result, result)
+    # Guard the exact-zero case to 0.5 regardless of segment rounding.
+    result = np.where(q == 0, half, result)
+    if scalar:
+        return int(result[0])
+    return result
+
+
+def qtanh(q, fmt: QFormat):
+    """Fixed-point tanh via ``2*sigmoid(2x) - 1`` over the PLAN sigmoid.
+
+    Present for the activation ablation only; the paper's deployed design
+    uses :func:`qsoftsign` everywhere.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    doubled = q * 2
+    sig = np.asarray(qsigmoid(doubled, fmt), dtype=np.int64)
+    result = 2 * sig - fmt.scale
+    if result.ndim == 0:
+        return int(result)
+    return result

@@ -1,0 +1,112 @@
+"""Vectorised fixed-point arithmetic primitives.
+
+These functions operate on *quantised* values: ``int64`` scalars or NumPy
+arrays whose magnitudes carry an implicit scale factor (see
+:class:`repro.fixedpoint.qformat.QFormat`).  Addition is closed under the
+scale; multiplication doubles it, so every product must be corrected by one
+factor of the scale to stay in-format.  The paper phrases this as the
+product "scales by 10^12, which requires a correction ... to maintain
+accurate final values" (Section III-D).
+
+All corrections use round-half-away-from-zero division rather than
+truncation, matching the paper's emphasis on rounding to minimise finite
+precision error.  Plain floor division would bias every product toward
+negative infinity and the bias compounds over the 100 timesteps of a
+sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+
+def _rounded_scale_division(product, scale: int):
+    """Divide ``product`` by ``scale`` rounding to the nearest integer.
+
+    Implements round-half-away-from-zero using integer arithmetic only, as
+    DSP post-processing logic would on the FPGA.  Works element-wise on
+    arrays and on Python/NumPy integer scalars.
+    """
+    product = np.asarray(product, dtype=np.int64)
+    half = scale // 2
+    adjusted = np.where(product >= 0, product + half, product - half)
+    result = adjusted // scale
+    # Negative operands: Python's floor division rounds toward -inf, so the
+    # "away from zero" adjustment above needs a truncating divide instead.
+    negative = product < 0
+    if np.any(negative):
+        trunc = -((-adjusted) // scale)
+        result = np.where(negative, trunc, result)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def qadd(a, b):
+    """Add two in-format quantised values.  Scale is preserved."""
+    result = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def qsub(a, b):
+    """Subtract two in-format quantised values.  Scale is preserved."""
+    result = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def qmul(a, b, fmt: QFormat):
+    """Multiply two in-format quantised values and rescale.
+
+    The raw product carries ``scale**2``; the result is corrected back to a
+    single ``scale`` with rounded division.
+    """
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return _rounded_scale_division(product, fmt.scale)
+
+
+def qmatvec(matrix, vector, fmt: QFormat):
+    """Fixed-point matrix-vector product.
+
+    Accumulation happens at full ``scale**2`` precision (int64), mirroring
+    the wide DSP accumulators on the FPGA; a single rescale is applied at
+    the end.  This ordering (accumulate wide, rescale once) loses less
+    precision than rescaling each product, and is the standard DSP-slice
+    MAC idiom the paper's Section III-D targets.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    vector = np.asarray(vector, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if vector.ndim != 1:
+        raise ValueError(f"vector must be 1-D, got shape {vector.shape}")
+    if matrix.shape[1] != vector.shape[0]:
+        raise ValueError(
+            f"shape mismatch: matrix {matrix.shape} x vector {vector.shape}"
+        )
+    accumulated = matrix @ vector
+    return _rounded_scale_division(accumulated, fmt.scale)
+
+
+def qdot(a, b, fmt: QFormat):
+    """Fixed-point dot product of two 1-D quantised vectors."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"expected matching 1-D vectors, got {a.shape} and {b.shape}")
+    return _rounded_scale_division(int(a @ b), fmt.scale)
+
+
+def qaffine(matrix, vector, bias, fmt: QFormat):
+    """Fixed-point affine transform ``matrix @ vector + bias``.
+
+    This is the core computation of every LSTM gate: the weight matrix
+    multiplies the concatenated ``[h_{t-1}, x_t]`` input and the bias is
+    added in-format after the product rescale.
+    """
+    return qadd(qmatvec(matrix, vector, fmt), np.asarray(bias, dtype=np.int64))

@@ -1,0 +1,96 @@
+"""Scale-factor configuration for fixed-point arithmetic.
+
+The paper (Section III-D) converts floating-point weights, biases, and
+embeddings to integers by multiplying them by a scale factor of ``10**6``
+before host initialisation, rounding to the nearest integer to preserve
+significant digits.  Every product of two scaled values then carries a scale
+of ``10**12`` and must be corrected back down before subsequent arithmetic.
+
+This module captures that convention in a small immutable configuration
+object, :class:`QFormat`, shared by the vectorised ops in
+:mod:`repro.fixedpoint.ops` and by the fixed-point activation functions in
+:mod:`repro.fixedpoint.activations`.
+
+A decimal (power-of-ten) scale is unusual for hardware — binary Q-formats
+are the norm — but it is what the paper specifies, and nothing in the
+arithmetic below depends on the base, so the scale is a free parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+#: The scale factor used throughout the paper.
+PAPER_SCALE_FACTOR = 10**6
+
+
+@dataclasses.dataclass(frozen=True)
+class QFormat:
+    """An immutable fixed-point format descriptor.
+
+    Parameters
+    ----------
+    scale:
+        Multiplicative scale factor.  A real value ``x`` is represented by
+        the integer ``round(x * scale)``.  Must be a positive integer.
+
+    Examples
+    --------
+    >>> q = QFormat(scale=10**6)
+    >>> q.quantize(0.5)
+    500000
+    >>> q.dequantize(500000)
+    0.5
+    """
+
+    scale: int = PAPER_SCALE_FACTOR
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scale, (int, np.integer)):
+            raise TypeError(f"scale must be an integer, got {type(self.scale).__name__}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def scale_squared(self) -> int:
+        """Scale carried by the raw product of two quantised values."""
+        return self.scale * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment, ``1 / scale``."""
+        return 1.0 / self.scale
+
+    def quantize(self, value):
+        """Convert a real value (scalar or array) to its scaled integer form.
+
+        Rounds to the nearest integer ("to minimize errors from finite
+        precision, we round the results", Section III-D).  Arrays are
+        returned as ``int64`` so that intermediate products up to
+        ``scale**2`` magnitudes do not overflow for the small weight values
+        used by the model.
+        """
+        scaled = np.multiply(value, self.scale)
+        rounded = np.rint(scaled)
+        if np.isscalar(value) or np.ndim(value) == 0:
+            return int(rounded)
+        return rounded.astype(np.int64)
+
+    def dequantize(self, qvalue):
+        """Convert a scaled integer (scalar or array) back to a real value."""
+        return np.asarray(qvalue, dtype=np.float64) / self.scale if np.ndim(qvalue) else qvalue / self.scale
+
+    def quantization_error(self, value) -> float:
+        """Return the maximum absolute round-trip error for ``value``.
+
+        Useful for tests and for the scale-factor ablation benchmark: the
+        error is bounded by half the resolution, ``0.5 / scale``.
+        """
+        round_trip = self.dequantize(self.quantize(value))
+        return float(np.max(np.abs(np.asarray(value, dtype=np.float64) - round_trip)))
+
+
+#: The format used by the paper's FPGA implementation.
+PAPER_QFORMAT = QFormat(scale=PAPER_SCALE_FACTOR)

@@ -1,0 +1,123 @@
+"""Saturating arithmetic and overflow diagnostics.
+
+Hardware integer datapaths have a fixed width; the paper's 10^6-scaled
+values flow through DSP cascades whose accumulators are wide but finite.
+This module provides:
+
+* :func:`qsaturate` — clamp quantised values to a representable range
+  (what a width-limited register would do);
+* :func:`headroom_bits` — how close a quantised array comes to a given
+  width (deployment check: will these weights/activations overflow?);
+* :class:`OverflowAudit` — a host-side audit that walks the model's
+  quantised parameters and bounds the worst-case accumulator magnitude,
+  verifying the chosen scale factor fits the datapath *before* the
+  bitstream runs.  The LSTM makes this tractable: gate outputs are
+  bounded by construction (sigmoid in [0, 1], softsign in (-1, 1)), so
+  the only unbounded-looking value, the cell state, is in fact bounded by
+  ``|C_t| <= max|C_{t-1}| + 1`` ⇒ ``|C_t| <= t``; over a 100-item
+  sequence that is well inside a 48-bit accumulator at scale 10^6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+
+def qsaturate(q, bits: int):
+    """Clamp quantised values into a signed ``bits``-wide range."""
+    if not 2 <= bits <= 63:
+        raise ValueError(f"bits must be in [2, 63], got {bits}")
+    limit = (1 << (bits - 1)) - 1
+    result = np.clip(np.asarray(q, dtype=np.int64), -limit - 1, limit)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def headroom_bits(q, bits: int) -> int:
+    """Unused sign-magnitude bits of ``q`` inside a ``bits``-wide word.
+
+    Returns a negative number if the values already overflow the width.
+    """
+    if not 2 <= bits <= 63:
+        raise ValueError(f"bits must be in [2, 63], got {bits}")
+    magnitude = int(np.max(np.abs(np.asarray(q, dtype=np.int64))))
+    if magnitude == 0:
+        return bits - 1
+    needed = magnitude.bit_length() + 1  # + sign
+    return bits - needed
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditResult:
+    """Outcome of the pre-deployment overflow audit."""
+
+    accumulator_bits: int
+    worst_case_accumulator_magnitude: int
+    worst_case_cell_magnitude: int
+    fits: bool
+    detail: dict
+
+
+class OverflowAudit:
+    """Bound worst-case datapath magnitudes for a quantised model.
+
+    Parameters
+    ----------
+    fmt:
+        The deployed fixed-point format.
+    accumulator_bits:
+        Width of the MAC accumulator (48 for DSP48E2 cascades).
+    sequence_length:
+        Items per inference; bounds the cell-state growth.
+    """
+
+    def __init__(self, fmt: QFormat, accumulator_bits: int = 48,
+                 sequence_length: int = 100):
+        if accumulator_bits < 8:
+            raise ValueError(f"accumulator_bits must be >= 8, got {accumulator_bits}")
+        if sequence_length < 1:
+            raise ValueError("sequence_length must be positive")
+        self.fmt = fmt
+        self.accumulator_bits = accumulator_bits
+        self.sequence_length = sequence_length
+
+    def audit(self, quantized_weights) -> AuditResult:
+        """Audit a :class:`~repro.core.weights.QuantizedHostWeights`.
+
+        The worst-case gate pre-activation accumulator is bounded by
+        ``sum_j |W[i,j]| * max|input_j| + |b_i|`` with inputs bounded by
+        the scale (|h| < 1, |x| <= max|embedding|).  Each product carries
+        ``scale**2`` before the rescale, so the bound is evaluated at
+        that scale — exactly what the DSP accumulator holds.
+        """
+        scale = self.fmt.scale
+        max_embedding = int(np.max(np.abs(quantized_weights.embedding)))
+        input_bound = max(scale, max_embedding)  # |h| <= scale; |x| <= embeddings
+
+        worst_accumulator = 0
+        per_gate = {}
+        for name, gate in quantized_weights.gates.items():
+            row_sums = np.sum(np.abs(gate.matrix), axis=1)
+            bias_max = int(np.max(np.abs(gate.bias))) if gate.bias.size else 0
+            bound = int(np.max(row_sums)) * input_bound + bias_max * scale
+            per_gate[name] = bound
+            worst_accumulator = max(worst_accumulator, bound)
+
+        # Cell state: |C_t| <= f*|C_{t-1}| + i*|C'| <= |C_{t-1}| + 1 per
+        # item (both gates in [0,1], candidate in (-1,1)).
+        cell_bound = self.sequence_length * scale
+
+        limit = (1 << (self.accumulator_bits - 1)) - 1
+        fits = worst_accumulator <= limit and cell_bound <= limit
+        return AuditResult(
+            accumulator_bits=self.accumulator_bits,
+            worst_case_accumulator_magnitude=worst_accumulator,
+            worst_case_cell_magnitude=cell_bound,
+            fits=fits,
+            detail=per_gate,
+        )

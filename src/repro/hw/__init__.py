@@ -1,0 +1,109 @@
+"""Hardware simulation substrate.
+
+Analytic models of everything the paper's testbed provided: HLS loop
+scheduling (pipeline II, unroll, array partition), AXI ports, DDR banks
+and contention, the FPGA parts (KU15P, Alveo u200), the SmartSSD's PCIe
+switch / SSD / P2P routes, dataflow pipeline scheduling, power, and fault
+injection.
+"""
+
+from repro.hw.axi import AxiMasterPort, TransferError
+from repro.hw.clock import DEFAULT_KERNEL_CLOCK_HZ, ClockDomain
+from repro.hw.dataflow import (
+    StageTiming,
+    parallel_stage_cycles,
+    pipeline_speedup,
+    pipelined_schedule,
+    schedule,
+    serial_schedule,
+)
+from repro.hw.fpga import (
+    ALVEO_U200,
+    KU15P,
+    FpgaDevice,
+    FpgaPart,
+    ResourceExhausted,
+    ResourceRequest,
+)
+from repro.hw.hls import (
+    FIXED_OPS,
+    FLOAT_OPS,
+    HlsLoop,
+    KERNEL_INVOKE_CYCLES,
+    LoopNest,
+    OpLatency,
+    PragmaSet,
+    op_table,
+)
+from repro.hw.memory import DdrBank, DdrSubsystem, bandwidth_bound_ii
+from repro.hw.pcie import PcieLink, PcieSwitch
+from repro.hw.power import (
+    A100_GPU_POWER,
+    SMARTSSD_FPGA_POWER,
+    XEON_CPU_POWER,
+    PowerProfile,
+    energy_comparison,
+)
+from repro.hw.emulation import (
+    loop_report,
+    render_engine_report,
+    render_loop_report,
+    render_utilization_report,
+)
+from repro.hw.sim import PipelineTrace, Resource, Simulator, simulate_item_pipeline
+from repro.hw.smartssd import SmartSSD, TransferRecord
+from repro.hw.xrt import CommandQueue, DeviceBuffer, Direction, Event, XrtDevice
+from repro.hw.ssd import NvmeSsd
+
+__all__ = [
+    "A100_GPU_POWER",
+    "ALVEO_U200",
+    "AxiMasterPort",
+    "ClockDomain",
+    "DEFAULT_KERNEL_CLOCK_HZ",
+    "DdrBank",
+    "DdrSubsystem",
+    "FIXED_OPS",
+    "FLOAT_OPS",
+    "FpgaDevice",
+    "FpgaPart",
+    "HlsLoop",
+    "KERNEL_INVOKE_CYCLES",
+    "KU15P",
+    "LoopNest",
+    "NvmeSsd",
+    "OpLatency",
+    "PcieLink",
+    "PcieSwitch",
+    "PowerProfile",
+    "PragmaSet",
+    "ResourceExhausted",
+    "ResourceRequest",
+    "SMARTSSD_FPGA_POWER",
+    "CommandQueue",
+    "DeviceBuffer",
+    "Direction",
+    "Event",
+    "PipelineTrace",
+    "Resource",
+    "SmartSSD",
+    "Simulator",
+    "XrtDevice",
+    "StageTiming",
+    "TransferError",
+    "TransferRecord",
+    "XEON_CPU_POWER",
+    "bandwidth_bound_ii",
+    "energy_comparison",
+    "op_table",
+    "parallel_stage_cycles",
+    "pipeline_speedup",
+    "pipelined_schedule",
+    "schedule",
+    "loop_report",
+    "render_engine_report",
+    "render_loop_report",
+    "render_utilization_report",
+    "serial_schedule",
+    "simulate_item_pipeline",
+]

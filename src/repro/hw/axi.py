@@ -1,0 +1,96 @@
+"""AXI master interface and burst transfer model.
+
+Kernels reach the FPGA's global memory (DDR) through AXI master ports —
+"high-performance, memory-mapped communications between the kernels and
+the FPGA's memory resources" (paper Section III-C).  The kernel
+implementation was explicitly devised "to support a balance between
+parallelization while reducing pressure on AXI Master interfaces", so the
+model must capture the thing that creates the pressure: several compute
+units sharing a limited number of DDR banks.
+
+A transfer is modelled as a fixed address/latency overhead plus one beat
+per ``data_width_bits / 8`` bytes, inflated by a contention factor when
+more readers share the port's bank than the bank can serve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Cycles from issuing a read address to the first data beat (DDR round trip).
+DEFAULT_READ_LATENCY_CYCLES = 150
+
+#: Cycles of overhead to set up a write burst.
+DEFAULT_WRITE_LATENCY_CYCLES = 40
+
+#: AXI data width used by Vitis-generated masters on the u200.
+DEFAULT_DATA_WIDTH_BITS = 512
+
+
+class TransferError(RuntimeError):
+    """Raised when a fault-injected transfer fails irrecoverably."""
+
+
+@dataclasses.dataclass
+class AxiMasterPort:
+    """One AXI master port binding a kernel to a DDR bank.
+
+    Parameters
+    ----------
+    name:
+        Port label (e.g. ``"gates_i/m_axi_gmem0"``).
+    data_width_bits:
+        Beat width; 512 bits = 64 bytes per beat is the Vitis default.
+    read_latency_cycles / write_latency_cycles:
+        Fixed per-burst overhead.
+    """
+
+    name: str
+    data_width_bits: int = DEFAULT_DATA_WIDTH_BITS
+    read_latency_cycles: int = DEFAULT_READ_LATENCY_CYCLES
+    write_latency_cycles: int = DEFAULT_WRITE_LATENCY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.data_width_bits % 8 != 0 or self.data_width_bits <= 0:
+            raise ValueError(
+                f"data_width_bits must be a positive multiple of 8, got "
+                f"{self.data_width_bits}"
+            )
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    @property
+    def bytes_per_beat(self) -> int:
+        return self.data_width_bits // 8
+
+    def _beats(self, num_bytes: int) -> int:
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return math.ceil(num_bytes / self.bytes_per_beat)
+
+    def read_cycles(self, num_bytes: int, contention_factor: float = 1.0) -> int:
+        """Cycles to read ``num_bytes`` as one burst.
+
+        ``contention_factor`` >= 1 stretches the data phase when the
+        target bank is shared (see :class:`repro.hw.memory.DdrBank`).
+        """
+        if contention_factor < 1.0:
+            raise ValueError(f"contention_factor must be >= 1, got {contention_factor}")
+        if num_bytes == 0:
+            return 0
+        self.bytes_transferred += num_bytes
+        self.transfer_count += 1
+        data_cycles = math.ceil(self._beats(num_bytes) * contention_factor)
+        return self.read_latency_cycles + data_cycles
+
+    def write_cycles(self, num_bytes: int, contention_factor: float = 1.0) -> int:
+        """Cycles to write ``num_bytes`` as one burst."""
+        if contention_factor < 1.0:
+            raise ValueError(f"contention_factor must be >= 1, got {contention_factor}")
+        if num_bytes == 0:
+            return 0
+        self.bytes_transferred += num_bytes
+        self.transfer_count += 1
+        data_cycles = math.ceil(self._beats(num_bytes) * contention_factor)
+        return self.write_latency_cycles + data_cycles

@@ -1,0 +1,63 @@
+"""Clock domains and cycle/time conversion.
+
+Everything in the FPGA timing model is counted in cycles of a kernel clock
+domain and converted to wall time only at reporting boundaries.  The paper's
+per-kernel numbers are consistent with a 300 MHz kernel clock (the common
+Vitis default on UltraScale+ parts): e.g. the optimised ``kernel_gates``
+figure of 0.00333 us is exactly one 300 MHz cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Kernel clock used by the paper's operating point.
+DEFAULT_KERNEL_CLOCK_HZ = 300_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock domain.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency in hertz; must be positive.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    frequency_hz: float = DEFAULT_KERNEL_CLOCK_HZ
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+
+    @property
+    def period_seconds(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def period_microseconds(self) -> float:
+        """Duration of one cycle in microseconds."""
+        return 1e6 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / self.frequency_hz
+
+    def cycles_to_microseconds(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds."""
+        return self.cycles_to_seconds(cycles) * 1e6
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert a duration to whole cycles (rounded up)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        import math
+
+        return math.ceil(seconds * self.frequency_hz)

@@ -1,0 +1,122 @@
+"""Vitis-style hardware emulation reports.
+
+The paper measures everything in "the Vitis Software Platform Development
+Environment's hardware emulation mode".  Vitis emits two artefacts
+developers actually read: the **HLS kernel report** (per-loop trip count,
+II, iteration latency, total latency) and the **system estimate /
+utilisation report** (per-kernel LUT/FF/DSP/BRAM against the platform).
+This module renders the equivalents from the simulator's own models so
+users can inspect *why* a configuration costs what it costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+
+from repro.hw.fpga import FpgaDevice
+from repro.hw.hls import HlsLoop, LoopNest
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopReportRow:
+    """One loop's line in the kernel report."""
+
+    loop: str
+    trip_count: int
+    pipelined: bool
+    achieved_ii: int | None
+    iteration_depth: int
+    latency_cycles: int
+
+
+def loop_report(nest: LoopNest) -> list:
+    """Rows of a Vitis-style latency report for one kernel's loop nest."""
+    rows = []
+    for loop in nest.loops:
+        rows.append(
+            LoopReportRow(
+                loop=loop.name,
+                trip_count=loop.effective_trip_count,
+                pipelined=loop.pragmas.pipeline,
+                achieved_ii=loop.achieved_ii if loop.pragmas.pipeline else None,
+                iteration_depth=loop.effective_depth,
+                latency_cycles=loop.latency_cycles,
+            )
+        )
+    return rows
+
+
+def render_loop_report(nest: LoopNest) -> str:
+    """Human-readable latency report, one kernel."""
+    buffer = io.StringIO()
+    buffer.write(f"== Kernel: {nest.name} ==\n")
+    buffer.write(f"{'loop':24s}{'trips':>7s}{'pipe':>6s}{'II':>5s}{'depth':>7s}{'cycles':>9s}\n")
+    buffer.write(f"{'(invocation overhead)':24s}{'':>7s}{'':>6s}{'':>5s}{'':>7s}"
+                 f"{nest.prologue_cycles:>9d}\n")
+    for row in loop_report(nest):
+        ii = str(row.achieved_ii) if row.achieved_ii is not None else "-"
+        buffer.write(
+            f"{row.loop:24s}{row.trip_count:>7d}{'yes' if row.pipelined else 'no':>6s}"
+            f"{ii:>5s}{row.iteration_depth:>7d}{row.latency_cycles:>9d}\n"
+        )
+    buffer.write(f"{'TOTAL':24s}{'':>7s}{'':>6s}{'':>5s}{'':>7s}{nest.latency_cycles:>9d}\n")
+    return buffer.getvalue()
+
+
+def render_utilization_report(device: FpgaDevice) -> str:
+    """Vitis-style system estimate: per-kernel resources vs the platform."""
+    buffer = io.StringIO()
+    buffer.write(f"== Platform: {device.part.name} "
+                 f"({device.clock.frequency_hz / 1e6:.0f} MHz kernel clock, "
+                 f"{len(device.ddr.banks)} DDR bank(s)) ==\n")
+    buffer.write(f"{'kernel':24s}{'LUT':>10s}{'FF':>10s}{'DSP':>8s}{'BRAM':>7s}\n")
+    for name, request in device.placements.items():
+        buffer.write(
+            f"{name:24s}{request.luts:>10d}{request.flip_flops:>10d}"
+            f"{request.dsp_slices:>8d}{request.bram_blocks:>7d}\n"
+        )
+    used = device.used
+    buffer.write(
+        f"{'TOTAL':24s}{used.luts:>10d}{used.flip_flops:>10d}"
+        f"{used.dsp_slices:>8d}{used.bram_blocks:>7d}\n"
+    )
+    utilization = device.utilization()
+    buffer.write(
+        f"{'UTILISATION':24s}{utilization['luts']:>10.1%}"
+        f"{utilization['flip_flops']:>10.1%}{utilization['dsp_slices']:>8.1%}"
+        f"{utilization['bram_blocks']:>7.1%}\n"
+    )
+    return buffer.getvalue()
+
+
+def render_engine_report(engine) -> str:
+    """Full emulation report for a built CSD inference engine.
+
+    Combines the utilisation estimate with each kernel's reported timing
+    and the end-to-end per-item figure — roughly what a Vitis run's
+    summary gives the paper's authors.
+    """
+    buffer = io.StringIO()
+    buffer.write(render_utilization_report(engine.device))
+    buffer.write("\n")
+    clock = engine.device.clock
+    buffer.write(f"{'kernel':24s}{'reported cycles':>16s}{'us/item':>10s}\n")
+    total_cycles = 0
+    for kernel in (engine.preprocess, engine.gates, engine.hidden_state):
+        timing = kernel.timing()
+        total_cycles += timing.reported_cycles
+        buffer.write(
+            f"{timing.kernel:24s}{timing.reported_cycles:>16d}"
+            f"{timing.reported_microseconds(clock):>10.5f}\n"
+        )
+    buffer.write(
+        f"{'TOTAL (per item)':24s}{total_cycles:>16d}"
+        f"{clock.cycles_to_microseconds(total_cycles):>10.5f}\n"
+    )
+    buffer.write(
+        f"optimization level: {engine.config.optimization.name}, "
+        f"{engine.config.num_gate_cus} gates CU(s), "
+        f"preemptive preprocess {'on' if engine.config.preemptive_preprocess else 'off'}\n"
+    )
+    return buffer.getvalue()

@@ -1,0 +1,135 @@
+"""Fault injection for the hardware substrate.
+
+Dependable-systems reproductions should show how the design behaves when
+the substrate misbehaves, not only when it is healthy.  This module
+provides a small fault-injection framework used by the failure-injection
+test suite:
+
+* :class:`AxiStallFault` — an AXI port intermittently stalls, stretching
+  transfers (models DDR refresh collisions / arbitration pathologies);
+* :class:`BitFlipFault` — flips a bit of a quantised buffer value (models
+  an SEU in BRAM, relevant to FPGA dependability);
+* :class:`DmaErrorFault` — a P2P DMA transfer fails and must be retried,
+  surfacing :class:`repro.hw.axi.TransferError` after the retry budget.
+
+Faults are armed on a :class:`FaultPlan` which components consult through
+narrow hooks, so the healthy path stays fault-framework-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hw.axi import TransferError
+
+
+@dataclasses.dataclass
+class AxiStallFault:
+    """Stretch every ``period``-th transfer by ``extra_cycles``."""
+
+    period: int = 3
+    extra_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        if self.period < 1 or self.extra_cycles < 0:
+            raise ValueError("period must be >= 1 and extra_cycles >= 0")
+        self._count = 0
+
+    def stall_cycles(self) -> int:
+        """Cycles to add to the current transfer (0 when not firing)."""
+        self._count += 1
+        if self._count % self.period == 0:
+            return self.extra_cycles
+        return 0
+
+
+@dataclasses.dataclass
+class BitFlipFault:
+    """Flip one bit of one element in a quantised int64 buffer."""
+
+    element_index: int = 0
+    bit: int = 12
+    fire_once: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < 63:
+            raise ValueError(f"bit must be in [0, 63), got {self.bit}")
+        self._fired = False
+
+    def corrupt(self, buffer: np.ndarray) -> np.ndarray:
+        """Return ``buffer`` with the configured bit flipped (copy).
+
+        Honour ``fire_once``: subsequent calls return the buffer unchanged.
+        """
+        if self.fire_once and self._fired:
+            return buffer
+        self._fired = True
+        corrupted = np.array(buffer, dtype=np.int64, copy=True)
+        flat = corrupted.reshape(-1)
+        index = self.element_index % flat.size
+        flat[index] = np.int64(flat[index]) ^ np.int64(1 << self.bit)
+        return corrupted
+
+
+@dataclasses.dataclass
+class DmaErrorFault:
+    """Fail the first ``failures`` DMA attempts, then succeed."""
+
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failures < 0:
+            raise ValueError("failures must be non-negative")
+        self._remaining = self.failures
+
+    def check(self) -> None:
+        """Raise :class:`TransferError` while failures remain."""
+        if self._remaining > 0:
+            self._remaining -= 1
+            raise TransferError("injected DMA failure")
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """The set of faults armed for a run; all default to absent."""
+
+    axi_stall: AxiStallFault | None = None
+    bit_flip: BitFlipFault | None = None
+    dma_error: DmaErrorFault | None = None
+
+    def extra_transfer_cycles(self) -> int:
+        """AXI stall penalty for the current transfer, if armed."""
+        if self.axi_stall is None:
+            return 0
+        return self.axi_stall.stall_cycles()
+
+    def maybe_corrupt(self, buffer: np.ndarray) -> np.ndarray:
+        """Apply the bit-flip fault to a buffer, if armed."""
+        if self.bit_flip is None:
+            return buffer
+        return self.bit_flip.corrupt(buffer)
+
+    def check_dma(self) -> None:
+        """Raise if the DMA fault is armed and still failing."""
+        if self.dma_error is not None:
+            self.dma_error.check()
+
+
+def retry_dma(plan: FaultPlan, attempts: int = 3) -> int:
+    """Drive a DMA through the fault plan with a retry budget.
+
+    Returns the number of attempts used.  Raises
+    :class:`repro.hw.axi.TransferError` if the budget is exhausted.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(1, attempts + 1):
+        try:
+            plan.check_dma()
+            return attempt
+        except TransferError:
+            if attempt == attempts:
+                raise
+    raise AssertionError("unreachable")

@@ -1,0 +1,178 @@
+"""FPGA part catalogue and resource accounting.
+
+The paper evaluates on the Alveo u200 ("part of the UltraScale family and
+similar to the SmartSSD's Kintex KU15P", Section IV); the SmartSSD itself
+carries the KU15P.  This module describes both parts and tracks resource
+consumption as kernels are "linked", so configurations that would not fit
+(e.g. absurd CU counts in the ablation) fail the same way ``v++`` would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.clock import DEFAULT_KERNEL_CLOCK_HZ, ClockDomain
+from repro.hw.memory import DdrSubsystem
+
+
+@dataclasses.dataclass(frozen=True)
+class FpgaPart:
+    """Static description of an FPGA part's resources."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    dsp_slices: int
+    bram_blocks: int       # 36 Kb blocks
+    uram_blocks: int
+    ddr_banks: int
+    max_kernel_clock_hz: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("luts", "flip_flops", "dsp_slices", "bram_blocks", "ddr_banks"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: Xilinx Kintex UltraScale KU15P — the FPGA inside Samsung's SmartSSD.
+KU15P = FpgaPart(
+    name="xcku15p",
+    luts=522_720,
+    flip_flops=1_045_440,
+    dsp_slices=1_968,
+    bram_blocks=984,
+    uram_blocks=128,
+    ddr_banks=1,
+    max_kernel_clock_hz=300_000_000,
+)
+
+#: AMD/Xilinx Alveo u200 — the paper's primary experimental platform.
+ALVEO_U200 = FpgaPart(
+    name="xcu200",
+    luts=1_182_240,
+    flip_flops=2_364_480,
+    dsp_slices=6_840,
+    bram_blocks=2_160,
+    uram_blocks=960,
+    ddr_banks=4,
+    max_kernel_clock_hz=300_000_000,
+)
+
+
+class ResourceExhausted(RuntimeError):
+    """A kernel placement exceeded the part's available resources."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceRequest:
+    """Resources one kernel compute unit consumes when placed."""
+
+    luts: int = 0
+    flip_flops: int = 0
+    dsp_slices: int = 0
+    bram_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("luts", "flip_flops", "dsp_slices", "bram_blocks"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+class FpgaDevice:
+    """A programmable FPGA: a part, a kernel clock, DDR banks, and a
+    ledger of placed kernels.
+
+    Parameters
+    ----------
+    part:
+        The silicon (:data:`KU15P`, :data:`ALVEO_U200`, or custom).
+    kernel_clock_hz:
+        Kernel clock; defaults to 300 MHz, clamped by the part's maximum.
+    ddr_banks_used:
+        Number of global-memory banks the design is linked against.  The
+        paper uses "a conservative two" on the u200.
+    """
+
+    def __init__(
+        self,
+        part: FpgaPart = ALVEO_U200,
+        kernel_clock_hz: float = DEFAULT_KERNEL_CLOCK_HZ,
+        ddr_banks_used: int = 2,
+    ):
+        if kernel_clock_hz > part.max_kernel_clock_hz:
+            raise ValueError(
+                f"{part.name} supports at most "
+                f"{part.max_kernel_clock_hz / 1e6:.0f} MHz kernel clock, "
+                f"requested {kernel_clock_hz / 1e6:.0f} MHz"
+            )
+        if not 1 <= ddr_banks_used <= part.ddr_banks:
+            raise ValueError(
+                f"{part.name} has {part.ddr_banks} DDR bank(s), "
+                f"requested {ddr_banks_used}"
+            )
+        self.part = part
+        self.clock = ClockDomain(frequency_hz=kernel_clock_hz, name=f"{part.name}-kernel")
+        self.ddr = DdrSubsystem.with_bank_count(ddr_banks_used)
+        self._placements: dict = {}
+        self._used = ResourceRequest()
+
+    @property
+    def placements(self) -> dict:
+        """Kernel name → :class:`ResourceRequest` of everything placed."""
+        return dict(self._placements)
+
+    @property
+    def used(self) -> ResourceRequest:
+        return self._used
+
+    def place_kernel(self, name: str, request: ResourceRequest) -> None:
+        """Place one compute unit, charging its resources.
+
+        Raises
+        ------
+        ResourceExhausted
+            If any resource class would exceed the part's capacity.
+        ValueError
+            If the kernel name is already placed.
+        """
+        if name in self._placements:
+            raise ValueError(f"kernel {name!r} is already placed")
+        new_used = ResourceRequest(
+            luts=self._used.luts + request.luts,
+            flip_flops=self._used.flip_flops + request.flip_flops,
+            dsp_slices=self._used.dsp_slices + request.dsp_slices,
+            bram_blocks=self._used.bram_blocks + request.bram_blocks,
+        )
+        limits = (
+            ("luts", self.part.luts),
+            ("flip_flops", self.part.flip_flops),
+            ("dsp_slices", self.part.dsp_slices),
+            ("bram_blocks", self.part.bram_blocks),
+        )
+        for field_name, limit in limits:
+            if getattr(new_used, field_name) > limit:
+                raise ResourceExhausted(
+                    f"placing {name!r} needs {getattr(request, field_name)} "
+                    f"{field_name} but only "
+                    f"{limit - getattr(self._used, field_name)} remain on "
+                    f"{self.part.name}"
+                )
+        self._placements[name] = request
+        self._used = new_used
+
+    def utilization(self) -> dict:
+        """Fractional utilisation per resource class."""
+        return {
+            "luts": self._used.luts / self.part.luts,
+            "flip_flops": self._used.flip_flops / self.part.flip_flops,
+            "dsp_slices": self._used.dsp_slices / self.part.dsp_slices,
+            "bram_blocks": self._used.bram_blocks / self.part.bram_blocks,
+        }
+
+    def reset(self) -> None:
+        """Clear all placements and DDR allocations (reprogramming)."""
+        self._placements.clear()
+        self._used = ResourceRequest()
+        for bank in self.ddr.banks:
+            bank.free_all()
+            bank.detach_all_readers()

@@ -1,0 +1,277 @@
+"""High-Level Synthesis loop latency model.
+
+Vitis HLS schedules a loop as a pipeline characterised by two numbers:
+
+* **iteration depth** — cycles for one iteration to flow through the
+  pipeline (sum of operation latencies along the critical path);
+* **initiation interval (II)** — cycles between starting consecutive
+  iterations.
+
+Total latency of a pipelined loop with trip count ``n`` is
+``depth + II * (n - 1)``; an unpipelined loop costs
+``n * (depth + loop_overhead)`` because each iteration also pays the
+loop-control handshake.
+
+The II actually *achieved* is the maximum of three lower bounds, all of
+which the paper's Section III-D optimisations manipulate:
+
+1. the **requested** II (``#pragma HLS PIPELINE II=1``);
+2. the **dependence-carried** II — a loop-carried dependency (e.g. a
+   floating-point accumulator) cannot start a new iteration before the
+   dependent operation finishes, so II >= that operation's latency;
+3. the **resource** II — memory ports and shared functional units limit
+   concurrent iterations; ``ARRAY_PARTITION`` removes the port bound,
+   ``UNROLL`` raises the per-cycle demand.
+
+Operation latencies for single-precision floating point and for the
+paper's 10^6-scaled 64-bit integer arithmetic are tabulated in
+:data:`FLOAT_OPS` and :data:`FIXED_OPS`.  They are representative of
+UltraScale-class DSP48E2 implementations and are the calibration surface
+of the simulator (see DESIGN.md, "Calibration policy").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Cycles of loop-control overhead per iteration of an *unpipelined* loop.
+LOOP_OVERHEAD_CYCLES = 1
+
+#: Fixed cost of invoking a kernel: control register writes, AXI-Lite
+#: handshake, and scheduler dispatch.  Paid once per kernel invocation.
+KERNEL_INVOKE_CYCLES = 62
+
+
+@dataclasses.dataclass(frozen=True)
+class OpLatency:
+    """Latency/II pair for one arithmetic operation on the fabric.
+
+    ``depth`` is the cycles until the result is available; ``ii`` is the
+    minimum cycles between issuing consecutive operations to the same
+    functional unit (1 for fully-pipelined units).
+    """
+
+    depth: int
+    ii: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth < 0 or self.ii < 1:
+            raise ValueError(f"invalid op latency depth={self.depth} ii={self.ii}")
+
+
+#: Single-precision floating point on DSP48E2 + fabric (representative).
+FLOAT_OPS = {
+    "add": OpLatency(depth=8),
+    "mul": OpLatency(depth=6),
+    # The fdiv core is iterative; a single shared instance is not fully
+    # pipelined, which is what caps the II of softsign-bearing loops.
+    "div": OpLatency(depth=16, ii=16),
+    "exp": OpLatency(depth=40, ii=4),
+    "cmp": OpLatency(depth=2),
+}
+
+#: 64-bit scaled-integer arithmetic (paper's fixed-point with scale 10^6).
+#: Multiplies cascade several DSP slices; the wide divide needed to rescale
+#: products (and to evaluate softsign's denominator) is the slowest unit.
+FIXED_OPS = {
+    "add": OpLatency(depth=1),
+    "mul": OpLatency(depth=3),
+    "div": OpLatency(depth=38, ii=10),
+    "cmp": OpLatency(depth=1),
+    "abs": OpLatency(depth=1),
+}
+
+
+def op_table(fixed_point: bool) -> dict:
+    """Return the operation-latency table for the chosen arithmetic."""
+    return FIXED_OPS if fixed_point else FLOAT_OPS
+
+
+@dataclasses.dataclass(frozen=True)
+class PragmaSet:
+    """HLS pragmas applied to a loop (paper Section III-D).
+
+    Attributes
+    ----------
+    pipeline:
+        ``#pragma HLS PIPELINE`` — overlap iterations.
+    target_ii:
+        Requested initiation interval (``II=1`` in the paper).
+    unroll:
+        ``#pragma HLS UNROLL factor=N`` — replicate the loop body.
+    array_partition:
+        ``#pragma HLS ARRAY_PARTITION complete`` — removes the BRAM
+        two-port ceiling on concurrent buffer accesses.
+    """
+
+    pipeline: bool = False
+    target_ii: int = 1
+    unroll: int = 1
+    array_partition: bool = False
+
+    def __post_init__(self) -> None:
+        if self.target_ii < 1:
+            raise ValueError(f"target_ii must be >= 1, got {self.target_ii}")
+        if self.unroll < 1:
+            raise ValueError(f"unroll must be >= 1, got {self.unroll}")
+
+
+#: Pragma presets for the paper's three optimisation rungs.
+VANILLA_PRAGMAS = PragmaSet(pipeline=True, target_ii=1)
+II_OPTIMIZED_PRAGMAS = PragmaSet(pipeline=True, target_ii=1, unroll=4, array_partition=True)
+
+#: Dual-port BRAM allows two accesses per cycle per (unpartitioned) buffer.
+BRAM_PORTS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class HlsLoop:
+    """A single HLS loop with enough structure to estimate its latency.
+
+    Parameters
+    ----------
+    name:
+        Label for reports.
+    trip_count:
+        Number of iterations.
+    iteration_depth:
+        Critical-path cycles of one iteration body (from the op tables).
+    pragmas:
+        The applied pragma set.
+    carried_dependency_ii:
+        Lower bound on II from loop-carried dependencies (e.g. the latency
+        of a floating-point accumulator chain).  1 when iterations are
+        independent.
+    memory_accesses_per_iteration:
+        Accesses to unpartitioned local buffers per iteration; combined
+        with ``BRAM_PORTS`` this yields the resource II bound.
+    shared_unit_ii:
+        II bound from a shared, not-fully-pipelined functional unit in the
+        body (e.g. the divider); 1 if none.
+    unroll_depth_penalty:
+        Extra depth per doubling of the unroll factor (adder trees, output
+        muxing).  Applied as ``penalty * log2(unroll)``.
+    """
+
+    name: str
+    trip_count: int
+    iteration_depth: int
+    pragmas: PragmaSet = dataclasses.field(default_factory=PragmaSet)
+    carried_dependency_ii: int = 1
+    memory_accesses_per_iteration: int = 0
+    shared_unit_ii: int = 1
+    unroll_depth_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 0:
+            raise ValueError(f"trip_count must be non-negative, got {self.trip_count}")
+        if self.iteration_depth < 1:
+            raise ValueError(
+                f"iteration_depth must be >= 1, got {self.iteration_depth}"
+            )
+        if self.carried_dependency_ii < 1 or self.shared_unit_ii < 1:
+            raise ValueError("II bounds must be >= 1")
+
+    @property
+    def effective_trip_count(self) -> int:
+        """Trip count after unrolling (``ceil(n / unroll)``)."""
+        if self.trip_count == 0:
+            return 0
+        return math.ceil(self.trip_count / self.pragmas.unroll)
+
+    @property
+    def effective_depth(self) -> int:
+        """Iteration depth after unrolling (tree/mux growth)."""
+        if self.pragmas.unroll == 1:
+            return self.iteration_depth
+        levels = math.ceil(math.log2(self.pragmas.unroll))
+        return self.iteration_depth + self.unroll_depth_penalty * levels
+
+    @property
+    def achieved_ii(self) -> int:
+        """The II the scheduler can actually achieve for this loop.
+
+        Maximum of the requested II, the dependence bound, the shared-unit
+        bound, and the memory-port bound.  Unrolling multiplies per-cycle
+        memory demand; complete array partitioning removes the port bound.
+        """
+        bounds = [self.pragmas.target_ii, self.carried_dependency_ii, self.shared_unit_ii]
+        if self.memory_accesses_per_iteration and not self.pragmas.array_partition:
+            demand = self.memory_accesses_per_iteration * self.pragmas.unroll
+            bounds.append(math.ceil(demand / BRAM_PORTS))
+        return max(bounds)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Total cycles for the whole loop."""
+        trips = self.effective_trip_count
+        if trips == 0:
+            return 0
+        if self.pragmas.pipeline:
+            return self.effective_depth + self.achieved_ii * (trips - 1)
+        return trips * (self.effective_depth + LOOP_OVERHEAD_CYCLES)
+
+    @property
+    def steady_state_ii(self) -> int:
+        """Cycles between results once the pipeline is full.
+
+        For a pipelined loop this is the achieved II; an unpipelined loop
+        produces one result per full iteration.
+        """
+        if self.pragmas.pipeline:
+            return self.achieved_ii
+        return self.effective_depth + LOOP_OVERHEAD_CYCLES
+
+
+@dataclasses.dataclass(frozen=True)
+class DataflowRegion:
+    """Parallel composition of loops (``#pragma HLS DATAFLOW``).
+
+    Section III-D: "The HLS pragma #pragma HLS DATAFLOW was also employed
+    in kernel_gates to promote added parallelization between independent
+    operations within the CUs."  Independent loops in a dataflow region
+    execute concurrently, so the region's latency is the *maximum* of its
+    members (plus a small channel hand-off).
+    """
+
+    name: str
+    loops: tuple
+    channel_cycles: int = 2  # PIPO/FIFO hand-off between region stages
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError(f"dataflow region {self.name!r} needs loops")
+        if self.channel_cycles < 0:
+            raise ValueError("channel_cycles must be non-negative")
+
+    @property
+    def latency_cycles(self) -> int:
+        return max(loop.latency_cycles for loop in self.loops) + self.channel_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopNest:
+    """Sequential composition of loops plus a fixed prologue cost.
+
+    Models a kernel body: the invoke handshake, then each component in
+    turn.  Components may be :class:`HlsLoop` or :class:`DataflowRegion`
+    (parallel sub-blocks).  Perfectly-nested loop flattening is expressed
+    by constructing a single :class:`HlsLoop` with the product trip count.
+    """
+
+    name: str
+    loops: tuple
+    prologue_cycles: int = KERNEL_INVOKE_CYCLES
+
+    @property
+    def latency_cycles(self) -> int:
+        """Total kernel latency: prologue plus every component in sequence."""
+        return self.prologue_cycles + sum(loop.latency_cycles for loop in self.loops)
+
+    def breakdown(self) -> dict:
+        """Per-component cycle counts, keyed by component name."""
+        parts = {"prologue": self.prologue_cycles}
+        for loop in self.loops:
+            parts[loop.name] = loop.latency_cycles
+        return parts

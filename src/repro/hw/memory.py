@@ -1,0 +1,142 @@
+"""DDR bank model and bank-sharing contention.
+
+The paper's design "utilizes a conservative two DDR banks of global
+memory" while "some Alveo cards (e.g., the u200 and u250) support four"
+(Section III-C).  With four ``kernel_gates`` compute units streaming
+weights from two banks, two CUs share each bank; the contention factor a
+shared bank imposes on each reader is what makes the unroll-heavy II
+configuration *slower* for ``kernel_gates`` in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass
+class DdrBank:
+    """One bank of FPGA global memory.
+
+    Parameters
+    ----------
+    name:
+        Bank label (``"DDR[0]"``).
+    capacity_bytes:
+        Bank capacity; allocation beyond it raises.
+    peak_bandwidth_bytes_per_cycle:
+        Sustainable data bytes per kernel-clock cycle (a 64-bit DDR4-2400
+        channel feeding a 300 MHz kernel sustains roughly 64 bytes/cycle).
+    """
+
+    name: str
+    capacity_bytes: int = 16 * 2**30
+    peak_bandwidth_bytes_per_cycle: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.peak_bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        self._allocated = 0
+        self._readers: list = []
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def readers(self) -> tuple:
+        return tuple(self._readers)
+
+    def allocate(self, num_bytes: int, label: str = "") -> None:
+        """Reserve buffer space on this bank.
+
+        Raises
+        ------
+        MemoryError
+            If the bank cannot hold the requested allocation.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if self._allocated + num_bytes > self.capacity_bytes:
+            raise MemoryError(
+                f"bank {self.name}: cannot allocate {num_bytes} bytes "
+                f"({self._allocated}/{self.capacity_bytes} used) for {label!r}"
+            )
+        self._allocated += num_bytes
+
+    def free_all(self) -> None:
+        """Release every allocation (host re-initialisation)."""
+        self._allocated = 0
+
+    def attach_reader(self, reader_name: str) -> None:
+        """Register a compute unit as a concurrent reader of this bank."""
+        self._readers.append(reader_name)
+
+    def detach_all_readers(self) -> None:
+        self._readers.clear()
+
+    @property
+    def contention_factor(self) -> float:
+        """Slow-down each reader sees when the bank is shared.
+
+        One reader → 1.0; ``k`` concurrent readers → ``k`` (fair
+        round-robin arbitration on the memory controller).
+        """
+        return float(max(1, len(self._readers)))
+
+
+@dataclasses.dataclass
+class DdrSubsystem:
+    """A set of DDR banks with round-robin CU assignment.
+
+    ``assign_readers`` distributes compute units across banks the way the
+    Vitis linker's connectivity map would, and exposes the worst-case
+    contention factor the gates kernels experience.
+    """
+
+    banks: tuple
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            raise ValueError("a DDR subsystem needs at least one bank")
+
+    @classmethod
+    def with_bank_count(cls, count: int, **bank_kwargs) -> "DdrSubsystem":
+        """Create ``count`` identically-configured banks."""
+        if count < 1:
+            raise ValueError(f"bank count must be >= 1, got {count}")
+        return cls(tuple(DdrBank(name=f"DDR[{i}]", **bank_kwargs) for i in range(count)))
+
+    def assign_readers(self, reader_names) -> dict:
+        """Spread readers over banks round-robin; return name → bank map."""
+        for bank in self.banks:
+            bank.detach_all_readers()
+        assignment = {}
+        for index, reader in enumerate(reader_names):
+            bank = self.banks[index % len(self.banks)]
+            bank.attach_reader(reader)
+            assignment[reader] = bank
+        return assignment
+
+    @property
+    def worst_contention_factor(self) -> float:
+        """Largest contention factor across banks (the gates CU bound)."""
+        return max(bank.contention_factor for bank in self.banks)
+
+    def total_allocated(self) -> int:
+        return sum(bank.allocated_bytes for bank in self.banks)
+
+
+def bandwidth_bound_ii(bytes_per_iteration: int, bank: DdrBank) -> int:
+    """Lower bound on a streaming loop's II from bank bandwidth.
+
+    A loop that pulls ``bytes_per_iteration`` from ``bank`` each iteration
+    cannot initiate faster than the bank can deliver, scaled by how many
+    readers share the bank.
+    """
+    if bytes_per_iteration < 0:
+        raise ValueError("bytes_per_iteration must be non-negative")
+    if bytes_per_iteration == 0:
+        return 1
+    effective = bank.peak_bandwidth_bytes_per_cycle / bank.contention_factor
+    return max(1, math.ceil(bytes_per_iteration / effective))

@@ -1,0 +1,101 @@
+"""PCIe link, switch, and peer-to-peer routing model (paper Fig. 1).
+
+The SmartSSD pairs its SSD and FPGA behind an onboard PCIe switch on a
+Gen3 x4 bus.  The switch supports peer-to-peer (P2P) transfers between the
+NVMe SSD and the FPGA DRAM, which "drastically reduces PCIe traffic and
+CPU overhead" — data never crosses the host root complex.
+
+The model charges per-transfer DMA setup latency plus payload time at the
+link's effective bandwidth.  A host-mediated route crosses two links (SSD →
+host → FPGA) and adds host DMA/driver overhead; the P2P route crosses the
+switch once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Effective per-lane bandwidth in bytes/second after 128b/130b encoding
+#: and protocol overhead (~985 MB/s/lane for Gen3).
+_GEN_LANE_BANDWIDTH = {1: 250e6, 2: 500e6, 3: 985e6, 4: 1969e6, 5: 3938e6}
+
+#: DMA descriptor setup + doorbell + completion latency for one transfer.
+DEFAULT_DMA_SETUP_SECONDS = 2.0e-6
+
+#: Extra latency when the host CPU mediates a transfer (driver, interrupt,
+#: bounce through host DRAM).
+DEFAULT_HOST_OVERHEAD_SECONDS = 8.0e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class PcieLink:
+    """A PCIe link of a given generation and width."""
+
+    generation: int = 3
+    lanes: int = 4
+    dma_setup_seconds: float = DEFAULT_DMA_SETUP_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.generation not in _GEN_LANE_BANDWIDTH:
+            raise ValueError(
+                f"unsupported PCIe generation {self.generation}; "
+                f"known: {sorted(_GEN_LANE_BANDWIDTH)}"
+            )
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        return _GEN_LANE_BANDWIDTH[self.generation] * self.lanes
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Wall time to move ``num_bytes`` across this link."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.dma_setup_seconds + num_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclasses.dataclass
+class PcieSwitch:
+    """The SmartSSD's onboard switch joining host, SSD, and FPGA.
+
+    Routes:
+
+    * ``p2p``  — SSD ↔ FPGA DRAM through the switch only.
+    * ``host`` — SSD → host DRAM → FPGA: two link crossings plus host
+      software overhead; this is what P2P avoids.
+    """
+
+    upstream: PcieLink = dataclasses.field(default_factory=PcieLink)
+    host_overhead_seconds: float = DEFAULT_HOST_OVERHEAD_SECONDS
+
+    def __post_init__(self) -> None:
+        self.p2p_bytes = 0
+        self.host_bytes = 0
+
+    def p2p_transfer_seconds(self, num_bytes: int) -> float:
+        """SSD ↔ FPGA DRAM peer-to-peer transfer time."""
+        self.p2p_bytes += num_bytes
+        return self.upstream.transfer_seconds(num_bytes)
+
+    def host_mediated_transfer_seconds(self, num_bytes: int) -> float:
+        """SSD → host → FPGA transfer time (the non-P2P path)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        self.host_bytes += num_bytes
+        if num_bytes == 0:
+            return 0.0
+        two_crossings = 2.0 * self.upstream.transfer_seconds(num_bytes)
+        return two_crossings + self.host_overhead_seconds
+
+    def p2p_savings_seconds(self, num_bytes: int) -> float:
+        """How much one transfer saves by going P2P instead of via host.
+
+        Pure arithmetic — does not update the traffic counters.
+        """
+        switch = PcieSwitch(upstream=self.upstream, host_overhead_seconds=self.host_overhead_seconds)
+        return switch.host_mediated_transfer_seconds(num_bytes) - switch.p2p_transfer_seconds(
+            num_bytes
+        )

@@ -1,0 +1,76 @@
+"""Power and energy model: FPGA vs CPU vs GPU.
+
+The paper's efficiency argument (Sections I, V, VII) is qualitative — CSDs
+draw far less power than server CPUs and GPUs, so continuous background
+inference costs less energy and cooling.  This module quantifies that with
+representative board-level figures so the ``bench_power`` benchmark can
+report energy per inference for all three devices.
+
+Board power figures (typical sustained, not TDP peaks):
+
+* SmartSSD FPGA compute: the device budget is 25 W total; the KU15P
+  compute portion runs ~10 W under load.
+* Intel Xeon Silver 4114: 85 W TDP, one inference uses a single core plus
+  uncore — ~20 W attributable.
+* NVIDIA A100 (40 GB): 250 W sustained under inference load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerProfile:
+    """Static + active power of one device."""
+
+    name: str
+    idle_watts: float
+    active_watts: float
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.active_watts < self.idle_watts:
+            raise ValueError(
+                f"require 0 <= idle <= active, got idle={self.idle_watts} "
+                f"active={self.active_watts}"
+            )
+
+    def energy_joules(self, active_seconds: float, idle_seconds: float = 0.0) -> float:
+        """Energy for a duty cycle of active and idle time."""
+        if active_seconds < 0 or idle_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        return self.active_watts * active_seconds + self.idle_watts * idle_seconds
+
+    def energy_per_inference_joules(self, inference_seconds: float) -> float:
+        """Energy attributable to one inference of the given duration."""
+        return self.energy_joules(active_seconds=inference_seconds)
+
+
+#: SmartSSD's FPGA compute portion under inference load.
+SMARTSSD_FPGA_POWER = PowerProfile(name="SmartSSD-FPGA", idle_watts=5.0, active_watts=10.0)
+
+#: Per-inference attributable power on a Xeon Silver 4114 core + uncore.
+XEON_CPU_POWER = PowerProfile(name="Xeon-Silver-4114", idle_watts=9.0, active_watts=20.0)
+
+#: NVIDIA A100 40 GB under light inference load.
+A100_GPU_POWER = PowerProfile(name="A100-40GB", idle_watts=55.0, active_watts=250.0)
+
+
+def energy_comparison(inference_seconds_by_device: dict) -> dict:
+    """Energy per inference (joules) for each named device.
+
+    Parameters
+    ----------
+    inference_seconds_by_device:
+        Mapping of profile → measured per-inference seconds, e.g.
+        ``{SMARTSSD_FPGA_POWER: 2.15e-6, A100_GPU_POWER: 741e-6}``.
+
+    Returns
+    -------
+    dict
+        Device name → joules per inference.
+    """
+    return {
+        profile.name: profile.energy_per_inference_joules(seconds)
+        for profile, seconds in inference_seconds_by_device.items()
+    }

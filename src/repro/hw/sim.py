@@ -1,0 +1,178 @@
+"""Discrete-event simulation core, cross-validating the analytic model.
+
+The kernel/pipeline latencies elsewhere in :mod:`repro.hw` are *analytic*
+(closed-form schedules).  Closed forms are fast but easy to get subtly
+wrong, so this module provides a small discrete-event simulator and an
+event-level model of the engine's three-stage item pipeline.  The test
+suite runs both and asserts they agree cycle-for-cycle — the same
+validation discipline real performance-model codebases use.
+
+The DES is deliberately minimal: a time-ordered event queue
+(:class:`Simulator`), single-owner resources (:class:`Resource`), and a
+process-free callback style (actions schedule further events).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+
+from repro.hw.dataflow import StageTiming
+
+
+class Simulator:
+    """A time-ordered event loop.
+
+    Events fire in (time, insertion-order) order; an action may schedule
+    further events.  Time is unitless (cycles, here).
+    """
+
+    def __init__(self):
+        self._queue: list = []
+        self._counter = itertools.count()
+        self.now = 0
+        self._fired = 0
+
+    def schedule(self, delay: int, action) -> None:
+        """Run ``action()`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), action))
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the final simulation time.
+
+        ``max_events`` guards against runaway self-scheduling models.
+        """
+        while self._queue:
+            self._fired += 1
+            if self._fired > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway model?")
+            time, _, action = heapq.heappop(self._queue)
+            self.now = time
+            action()
+        return self.now
+
+    @property
+    def events_fired(self) -> int:
+        return self._fired
+
+
+class Resource:
+    """A single-owner resource with FIFO hand-off.
+
+    ``acquire(action)`` runs ``action`` immediately if the resource is
+    free, else queues it; ``release()`` hands the resource to the next
+    waiter in arrival order.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._busy = False
+        self._waiters: list = []
+        self.acquisitions = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def acquire(self, action) -> None:
+        if self._busy:
+            self._waiters.append(action)
+            return
+        self._busy = True
+        self.acquisitions += 1
+        action()
+
+    def release(self) -> None:
+        if not self._busy:
+            raise RuntimeError(f"resource {self.name!r} released while free")
+        if self._waiters:
+            self.acquisitions += 1
+            action = self._waiters.pop(0)
+            action()
+        else:
+            self._busy = False
+
+
+@dataclasses.dataclass
+class PipelineTrace:
+    """Per-item start/end times recorded by the event-level pipeline."""
+
+    preprocess_spans: list = dataclasses.field(default_factory=list)
+    compute_spans: list = dataclasses.field(default_factory=list)
+
+
+def simulate_item_pipeline(
+    timing: StageTiming, num_items: int, preemptive: bool
+) -> tuple:
+    """Event-level model of the engine's per-item schedule.
+
+    Structure (matching Section III-C):
+
+    * one *preprocess* unit — embeds item ``t``;
+    * one *compute* unit — the gates CUs + hidden-state kernel, which run
+      back to back and carry the ``h_{t-1}`` recurrence, so compute for
+      item ``t+1`` cannot start before compute for ``t`` ends **and** the
+      embedding of ``t+1`` is ready;
+    * preemptive mode lets preprocess work on item ``t+1`` while compute
+      handles item ``t``; non-preemptive serialises everything.
+
+    Returns ``(total_cycles, PipelineTrace)``.
+    """
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    simulator = Simulator()
+    trace = PipelineTrace()
+    embedding_ready = [None] * max(num_items, 1)  # completion time per item
+    compute_done = [None] * max(num_items, 1)
+
+    preprocess_free_at = 0
+    # Schedule all preprocess work: in preemptive mode, item t+1's
+    # preprocess may start as soon as the unit is free; in serial mode it
+    # must additionally wait for item t's compute to finish (handled by
+    # chaining below).
+    def start_preprocess(item: int, not_before: int) -> None:
+        nonlocal preprocess_free_at
+        start = max(preprocess_free_at, not_before)
+        end = start + timing.preprocess
+        preprocess_free_at = end
+        trace.preprocess_spans.append((start, end))
+        embedding_ready[item] = end
+
+        def on_embedding_done():
+            try_start_compute(item)
+
+        simulator.schedule(end - simulator.now, on_embedding_done)
+
+    def try_start_compute(item: int) -> None:
+        if embedding_ready[item] is None or compute_done[item] is not None:
+            return  # embedding not ready, or already started
+        previous_done = 0 if item == 0 else compute_done[item - 1]
+        if previous_done is None:
+            return  # recurrence not satisfied yet; retried when it is
+        start = max(embedding_ready[item], previous_done)
+        end = start + timing.compute_total
+        compute_done[item] = end
+        trace.compute_spans.append((start, end))
+
+        def on_compute_done():
+            if preemptive:
+                if item + 1 < num_items and embedding_ready[item + 1] is not None:
+                    try_start_compute(item + 1)
+            else:
+                if item + 1 < num_items:
+                    start_preprocess(item + 1, not_before=end)
+
+        simulator.schedule(end - simulator.now, on_compute_done)
+
+    if num_items > 0:
+        if preemptive:
+            for item in range(num_items):
+                start_preprocess(item, not_before=0)
+        else:
+            start_preprocess(0, not_before=0)
+
+    total = simulator.run()
+    return total, trace

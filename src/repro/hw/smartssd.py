@@ -1,0 +1,124 @@
+"""SmartSSD device composition (paper Fig. 1).
+
+A SmartSSD is an NVMe SSD and an FPGA accelerator joined by an onboard
+PCIe switch, with dedicated FPGA DRAM.  The CPU can issue standard SSD
+read/writes, FPGA DRAM read/writes, and FPGA compute requests; the switch
+additionally supports P2P transfers so the FPGA can consume SSD data
+"without necessitating CPU involvement".
+
+This class wires the :mod:`repro.hw` component models together and exposes
+the three data paths the inference engine uses:
+
+* :meth:`host_load_weights` — host → FPGA DRAM (once, at initialisation);
+* :meth:`p2p_fetch` — SSD → FPGA DRAM without the host (per batch);
+* :meth:`host_fetch` — SSD → host → FPGA DRAM (the path P2P replaces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.fpga import KU15P, FpgaDevice
+from repro.hw.pcie import PcieLink, PcieSwitch
+from repro.hw.ssd import NvmeSsd
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferRecord:
+    """One completed data movement, for traffic accounting."""
+
+    route: str            # "p2p" | "host" | "host_to_fpga"
+    num_bytes: int
+    seconds: float
+
+
+class SmartSSD:
+    """A Samsung SmartSSD-like computational storage drive.
+
+    Parameters
+    ----------
+    fpga:
+        FPGA device model; defaults to the KU15P with one DDR bank, as on
+        the real SmartSSD.  The paper's experiments substitute an Alveo
+        u200 model (see :class:`repro.core.engine.CSDInferenceEngine`).
+    ssd:
+        NVMe SSD model; defaults to a PM1733-class drive.
+    link:
+        The device's PCIe interface (Gen3 x4 on the SmartSSD).
+    fpga_dram_bytes:
+        Capacity of the FPGA-attached DRAM visible over PCIe.
+    """
+
+    def __init__(
+        self,
+        fpga: FpgaDevice | None = None,
+        ssd: NvmeSsd | None = None,
+        link: PcieLink | None = None,
+        fpga_dram_bytes: int = 4 * 2**30,
+    ):
+        self.fpga = fpga or FpgaDevice(part=KU15P, ddr_banks_used=1)
+        self.ssd = ssd or NvmeSsd()
+        self.switch = PcieSwitch(upstream=link or PcieLink(generation=3, lanes=4))
+        self.fpga_dram_bytes = fpga_dram_bytes
+        self._fpga_dram_used = 0
+        self.transfers: list = []
+
+    @property
+    def fpga_dram_free_bytes(self) -> int:
+        return self.fpga_dram_bytes - self._fpga_dram_used
+
+    def _reserve_fpga_dram(self, num_bytes: int, label: str) -> None:
+        if num_bytes > self.fpga_dram_free_bytes:
+            raise MemoryError(
+                f"FPGA DRAM cannot hold {num_bytes} bytes for {label!r} "
+                f"({self._fpga_dram_used}/{self.fpga_dram_bytes} used)"
+            )
+        self._fpga_dram_used += num_bytes
+
+    def host_load_weights(self, num_bytes: int) -> float:
+        """Host → FPGA DRAM weight download at initialisation.
+
+        Returns the transfer time in seconds.
+        """
+        self._reserve_fpga_dram(num_bytes, "weights")
+        seconds = self.switch.upstream.transfer_seconds(num_bytes)
+        self.transfers.append(TransferRecord("host_to_fpga", num_bytes, seconds))
+        return seconds
+
+    def p2p_fetch(self, key: str) -> float:
+        """SSD → FPGA DRAM over the switch, bypassing the host.
+
+        The object must previously have been stored with
+        ``device.ssd.write_object(key, nbytes)``.  Returns total seconds
+        (SSD read + switch transfer).
+        """
+        num_bytes, ssd_seconds = self.ssd.read_object(key)
+        self._reserve_fpga_dram(num_bytes, key)
+        link_seconds = self.switch.p2p_transfer_seconds(num_bytes)
+        seconds = ssd_seconds + link_seconds
+        self.transfers.append(TransferRecord("p2p", num_bytes, seconds))
+        return seconds
+
+    def host_fetch(self, key: str) -> float:
+        """SSD → host DRAM → FPGA DRAM (the route P2P eliminates)."""
+        num_bytes, ssd_seconds = self.ssd.read_object(key)
+        self._reserve_fpga_dram(num_bytes, key)
+        link_seconds = self.switch.host_mediated_transfer_seconds(num_bytes)
+        seconds = ssd_seconds + link_seconds
+        self.transfers.append(TransferRecord("host", num_bytes, seconds))
+        return seconds
+
+    def release_fpga_dram(self, num_bytes: int) -> None:
+        """Free FPGA DRAM previously reserved by a fetch or weight load."""
+        if num_bytes < 0 or num_bytes > self._fpga_dram_used:
+            raise ValueError(
+                f"cannot release {num_bytes} bytes; {self._fpga_dram_used} in use"
+            )
+        self._fpga_dram_used -= num_bytes
+
+    def traffic_summary(self) -> dict:
+        """Total bytes moved per route."""
+        summary = {"p2p": 0, "host": 0, "host_to_fpga": 0}
+        for record in self.transfers:
+            summary[record.route] += record.num_bytes
+        return summary

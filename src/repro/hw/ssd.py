@@ -1,0 +1,87 @@
+"""NVMe SSD model (PM1733-class, the SmartSSD's storage half).
+
+The detector's input — API-call sequences spooled to storage — is read by
+the FPGA directly from the SSD over the P2P path, so the SSD model only
+needs first-order read/write behaviour: fixed command latency plus payload
+at device bandwidth, clamped by the PCIe Gen3 x4 front end, and simple
+capacity bookkeeping for stored objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class NvmeSsd:
+    """A capacity/latency/bandwidth model of an NVMe SSD.
+
+    Default constants approximate the 4 TB PM1733 behind a Gen3 x4 link:
+    ~90 us random-read command latency, ~3.2 GB/s effective sequential
+    read, ~2.6 GB/s write.
+    """
+
+    name: str = "PM1733"
+    capacity_bytes: int = 4 * 10**12
+    read_latency_seconds: float = 90e-6
+    write_latency_seconds: float = 30e-6
+    read_bandwidth_bytes_per_second: float = 3.2e9
+    write_bandwidth_bytes_per_second: float = 2.6e9
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if min(self.read_bandwidth_bytes_per_second, self.write_bandwidth_bytes_per_second) <= 0:
+            raise ValueError("bandwidths must be positive")
+        self._objects: dict = {}
+        self._used = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def write_object(self, key: str, num_bytes: int) -> float:
+        """Store an object; returns the simulated write time in seconds."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        existing = self._objects.get(key, 0)
+        if self._used - existing + num_bytes > self.capacity_bytes:
+            raise MemoryError(
+                f"{self.name}: {num_bytes} bytes will not fit "
+                f"({self._used}/{self.capacity_bytes} used)"
+            )
+        self._used = self._used - existing + num_bytes
+        self._objects[key] = num_bytes
+        self.writes_issued += 1
+        return self.write_latency_seconds + num_bytes / self.write_bandwidth_bytes_per_second
+
+    def read_object(self, key: str) -> tuple:
+        """Read a stored object; returns ``(num_bytes, seconds)``.
+
+        Raises
+        ------
+        KeyError
+            If no object with that key was written.
+        """
+        if key not in self._objects:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        num_bytes = self._objects[key]
+        self.reads_issued += 1
+        seconds = self.read_latency_seconds + num_bytes / self.read_bandwidth_bytes_per_second
+        return num_bytes, seconds
+
+    def read_seconds(self, num_bytes: int) -> float:
+        """Time to read an anonymous extent of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        self.reads_issued += 1
+        return self.read_latency_seconds + num_bytes / self.read_bandwidth_bytes_per_second
+
+    def delete_object(self, key: str) -> None:
+        """Remove a stored object."""
+        num_bytes = self._objects.pop(key, None)
+        if num_bytes is None:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        self._used -= num_bytes

@@ -1,0 +1,189 @@
+"""Xilinx Runtime (XRT)-style host interface.
+
+The paper's host program is "responsible for general control flow,
+initiating data transfers, and managing the interaction with the FPGA",
+written against the Xilinx Runtime (XRT, Section IV).  This module models
+the slice of that API the design uses, so the host-side costs — buffer
+migrations, kernel enqueues, synchronisation — are accounted the way an
+XRT profile would show them:
+
+* :class:`DeviceBuffer` — a device-resident buffer object (cl_mem/BO
+  equivalent) bound to a DDR bank;
+* :class:`CommandQueue` — in-order enqueue of migrations and kernel runs,
+  each returning an :class:`Event` with queue/start/end timestamps;
+* :class:`XrtDevice` — the device session: buffer allocation against the
+  bank ledgers, queue creation, and a profile summary.
+
+All times are seconds of simulated wall clock; the queue maintains its
+own timeline (in-order execution, back-to-back).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.hw.clock import ClockDomain
+from repro.hw.fpga import FpgaDevice
+from repro.hw.pcie import PcieLink
+
+
+class Direction(enum.Enum):
+    """Migration direction (clEnqueueMigrateMemObjects semantics)."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Completion record of one queued operation (OpenCL event info)."""
+
+    kind: str                 # "migrate" | "kernel"
+    label: str
+    queued_seconds: float     # timeline position when enqueued
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+
+class DeviceBuffer:
+    """A device-resident buffer bound to one DDR bank."""
+
+    def __init__(self, name: str, num_bytes: int, bank, device: "XrtDevice"):
+        if num_bytes <= 0:
+            raise ValueError(f"buffer {name!r}: size must be positive")
+        self.name = name
+        self.num_bytes = num_bytes
+        self.bank = bank
+        self._device = device
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Free the bank allocation (clReleaseMemObject)."""
+        if self._released:
+            raise RuntimeError(f"buffer {self.name!r} already released")
+        self._released = True
+        self._device._on_release(self)
+
+
+class CommandQueue:
+    """In-order command queue with a simulated timeline."""
+
+    def __init__(self, device: "XrtDevice", link: PcieLink):
+        self._device = device
+        self._link = link
+        self._timeline_seconds = 0.0
+        self.events: list = []
+
+    @property
+    def timeline_seconds(self) -> float:
+        """Current end-of-queue time."""
+        return self._timeline_seconds
+
+    def enqueue_migrate(self, buffer: DeviceBuffer, direction: Direction) -> Event:
+        """Move a buffer across PCIe (clEnqueueMigrateMemObjects)."""
+        if buffer.released:
+            raise RuntimeError(f"buffer {buffer.name!r} was released")
+        queued = self._timeline_seconds
+        duration = self._link.transfer_seconds(buffer.num_bytes)
+        event = Event(
+            kind="migrate",
+            label=f"{buffer.name}:{direction.value}",
+            queued_seconds=queued,
+            start_seconds=queued,
+            end_seconds=queued + duration,
+        )
+        self._timeline_seconds = event.end_seconds
+        self.events.append(event)
+        return event
+
+    def enqueue_kernel(self, label: str, cycles: int, clock: ClockDomain) -> Event:
+        """Run a kernel for ``cycles`` of its clock (clEnqueueTask)."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        queued = self._timeline_seconds
+        duration = clock.cycles_to_seconds(cycles)
+        event = Event(
+            kind="kernel",
+            label=label,
+            queued_seconds=queued,
+            start_seconds=queued,
+            end_seconds=queued + duration,
+        )
+        self._timeline_seconds = event.end_seconds
+        self.events.append(event)
+        return event
+
+    def finish(self) -> float:
+        """Block until all queued work completes (clFinish).
+
+        Returns the timeline position — total elapsed simulated seconds.
+        """
+        return self._timeline_seconds
+
+
+class XrtDevice:
+    """A host session against one FPGA device.
+
+    Parameters
+    ----------
+    fpga:
+        The device model whose DDR banks back the buffers.
+    link:
+        Host↔device PCIe link for migrations.
+    """
+
+    def __init__(self, fpga: FpgaDevice, link: PcieLink | None = None):
+        self.fpga = fpga
+        self.link = link or PcieLink(generation=3, lanes=16)
+        self._buffers: dict = {}
+
+    def allocate_buffer(self, name: str, num_bytes: int, bank_index: int = 0) -> DeviceBuffer:
+        """Create a device buffer on a DDR bank (clCreateBuffer + bank flag).
+
+        Raises
+        ------
+        MemoryError
+            If the bank cannot hold the allocation.
+        ValueError
+            On duplicate names or a bad bank index.
+        """
+        if name in self._buffers:
+            raise ValueError(f"buffer {name!r} already allocated")
+        banks = self.fpga.ddr.banks
+        if not 0 <= bank_index < len(banks):
+            raise ValueError(
+                f"bank index {bank_index} out of range (device has {len(banks)})"
+            )
+        bank = banks[bank_index]
+        bank.allocate(num_bytes, label=name)
+        buffer = DeviceBuffer(name, num_bytes, bank, self)
+        self._buffers[name] = buffer
+        return buffer
+
+    def _on_release(self, buffer: DeviceBuffer) -> None:
+        self._buffers.pop(buffer.name, None)
+
+    @property
+    def live_buffers(self) -> tuple:
+        return tuple(self._buffers.values())
+
+    def create_queue(self) -> CommandQueue:
+        """Create an in-order command queue (clCreateCommandQueue)."""
+        return CommandQueue(self, self.link)
+
+    @staticmethod
+    def profile_summary(queue: CommandQueue) -> dict:
+        """Aggregate event durations by kind, like an XRT profile report."""
+        summary = {"migrate": 0.0, "kernel": 0.0, "total": queue.finish()}
+        for event in queue.events:
+            summary[event.kind] += event.duration_seconds
+        return summary

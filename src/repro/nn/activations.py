@@ -1,0 +1,80 @@
+"""Floating-point activation functions and their derivatives.
+
+The offline training procedure (paper Section III-A) runs in ordinary
+floating point; the deployed FPGA model replaces ``tanh`` with ``softsign``
+(Section III-D).  To keep the trained weights consistent with what the
+hardware executes, the model trains with softsign as well — both the
+forward value *and* the gradient are exact here, so no straight-through
+tricks are needed.
+
+Each activation is exposed as a function plus a ``*_grad`` companion that
+takes the *pre-activation* input.  Gradients written in terms of the input
+(rather than the output) keep the BPTT code in :mod:`repro.nn.lstm` simple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid w.r.t. its input."""
+    s = sigmoid(x)
+    return s * (1.0 - s)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (baseline activation the paper replaces)."""
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of tanh w.r.t. its input."""
+    t = np.tanh(x)
+    return 1.0 - t * t
+
+
+def softsign(x: np.ndarray) -> np.ndarray:
+    """Softsign: ``x / (|x| + 1)`` — the paper's tanh replacement."""
+    return x / (np.abs(x) + 1.0)
+
+
+def softsign_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of softsign: ``1 / (|x| + 1)**2``."""
+    denominator = np.abs(x) + 1.0
+    return 1.0 / (denominator * denominator)
+
+
+#: Registry mapping activation names to (function, gradient) pairs.
+ACTIVATIONS = {
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "tanh": (tanh, tanh_grad),
+    "softsign": (softsign, softsign_grad),
+}
+
+
+def get_activation(name: str):
+    """Look up an activation pair by name.
+
+    Returns
+    -------
+    tuple
+        ``(function, gradient_function)`` where the gradient is taken with
+        respect to the pre-activation input.
+    """
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Weight initialisation schemes for the from-scratch NN substrate.
+
+The schemes mirror the defaults the paper's TensorFlow training notebook
+would have used: Glorot-uniform for input-to-hidden weights, orthogonal for
+recurrent weights, zeros for biases, and a small uniform range for
+embeddings (Keras' ``Embedding`` default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Samples from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in +
+    fan_out))``.  For 2-D shapes ``(rows, cols)`` fan-in is ``cols`` and
+    fan-out is ``rows`` (row-major weight matrices acting on column inputs).
+    """
+    if len(shape) != 2:
+        raise ValueError(f"glorot_uniform expects a 2-D shape, got {shape}")
+    fan_out, fan_in = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Orthogonal initialisation (Saxe et al. 2014) for recurrent weights.
+
+    Produces a matrix with orthonormal rows (or columns, whichever is
+    smaller), which keeps the recurrent Jacobian's spectrum near 1 and so
+    stabilises gradients over the 100-step sequences used here.
+    """
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal expects a 2-D shape, got {shape}")
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Sign-correct so the distribution is uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform_embedding(rng: np.random.Generator, shape: tuple, scale: float = 0.05) -> np.ndarray:
+    """Small uniform initialisation for embedding tables, ``U(-scale, scale)``."""
+    return rng.uniform(-scale, scale, size=shape)

@@ -1,0 +1,43 @@
+"""Loss functions for binary sequence classification.
+
+The ransomware detector is a binary classifier, so binary cross-entropy on
+sigmoid logits is the natural (and numerically careful) choice.  The loss
+is implemented directly on *logits* so the sigmoid and the log never cancel
+catastrophically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+
+
+def binary_cross_entropy_with_logits(logits: np.ndarray, labels: np.ndarray):
+    """Mean BCE loss computed stably from logits.
+
+    Uses the identity ``BCE = max(z, 0) - z*y + log(1 + exp(-|z|))`` which
+    never exponentiates a large positive number.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores of shape ``(batch,)`` or ``(batch, 1)``.
+    labels:
+        Binary targets with the same leading shape, values in {0, 1}.
+
+    Returns
+    -------
+    tuple
+        ``(loss, grad_logits)`` — the scalar mean loss and its gradient
+        w.r.t. the logits (same shape as ``logits``).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64).reshape(logits.shape)
+    if logits.size == 0:
+        raise ValueError("cannot compute BCE on an empty batch")
+
+    losses = np.maximum(logits, 0.0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+    loss = float(losses.mean())
+    grad = (sigmoid(logits) - labels) / logits.shape[0]
+    return loss, grad

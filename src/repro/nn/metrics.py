@@ -1,0 +1,158 @@
+"""Binary classification metrics (paper Section IV reporting).
+
+The paper reports accuracy, precision, recall, and F1 for the ransomware
+detector.  These are computed from an explicit confusion matrix so tests
+and benchmarks can inspect the raw counts too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts with the positive class = ransomware."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        predicted_positive = self.true_positive + self.false_positive
+        if predicted_positive == 0:
+            return 0.0
+        return self.true_positive / predicted_positive
+
+    @property
+    def recall(self) -> float:
+        actual_positive = self.true_positive + self.false_negative
+        if actual_positive == 0:
+            return 0.0
+        return self.true_positive / actual_positive
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def as_dict(self) -> dict:
+        """Return the four headline metrics as a plain dict."""
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray) -> ConfusionMatrix:
+    """Build a :class:`ConfusionMatrix` from binary prediction/label arrays.
+
+    Parameters
+    ----------
+    predictions, labels:
+        Arrays of equal length containing values in {0, 1}.
+    """
+    predictions = np.asarray(predictions).reshape(-1).astype(int)
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions and labels must match: {predictions.shape} vs {labels.shape}"
+        )
+    for name, arr in (("predictions", predictions), ("labels", labels)):
+        bad = set(np.unique(arr)) - {0, 1}
+        if bad:
+            raise ValueError(f"{name} must be binary, found values {sorted(bad)}")
+    tp = int(np.sum((predictions == 1) & (labels == 1)))
+    fp = int(np.sum((predictions == 1) & (labels == 0)))
+    tn = int(np.sum((predictions == 0) & (labels == 0)))
+    fn = int(np.sum((predictions == 0) & (labels == 1)))
+    return ConfusionMatrix(tp, fp, tn, fn)
+
+
+def classification_report(predictions: np.ndarray, labels: np.ndarray) -> dict:
+    """Convenience wrapper returning the four headline metrics."""
+    return confusion_matrix(predictions, labels).as_dict()
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> tuple:
+    """ROC points from continuous scores.
+
+    Returns ``(fpr, tpr, thresholds)`` arrays ordered from the most
+    permissive threshold to the strictest, with the conventional (0,0)
+    and (1,1) endpoints included.
+
+    Parameters
+    ----------
+    scores:
+        Ransomware probabilities (higher = more positive).
+    labels:
+        Binary ground truth.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    if scores.shape != labels.shape:
+        raise ValueError(
+            f"scores and labels must match: {scores.shape} vs {labels.shape}"
+        )
+    positives = int(labels.sum())
+    negatives = labels.size - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC needs both classes present")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tps = np.cumsum(sorted_labels)
+    fps = np.cumsum(1 - sorted_labels)
+    # Collapse ties: keep the last point of each distinct score.
+    distinct = np.r_[np.flatnonzero(np.diff(scores[order])), scores.size - 1]
+    tpr = np.r_[0.0, tps[distinct] / positives]
+    fpr = np.r_[0.0, fps[distinct] / negatives]
+    thresholds = np.r_[np.inf, scores[order][distinct]]
+    return fpr, tpr, thresholds
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(scores, labels)
+    # np.trapz was renamed to np.trapezoid in NumPy 2.0.
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(tpr, fpr))
+
+
+def threshold_sweep(scores: np.ndarray, labels: np.ndarray, thresholds) -> list:
+    """Metrics at each candidate decision threshold.
+
+    Returns a list of ``(threshold, ConfusionMatrix)`` pairs — the data
+    behind the detector's operating-point choice (detection threshold vs
+    false-quarantine rate).
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    results = []
+    for threshold in thresholds:
+        predictions = (scores >= threshold).astype(int)
+        results.append((float(threshold), confusion_matrix(predictions, labels)))
+    return results

@@ -1,0 +1,110 @@
+"""Gradient-descent optimisers for the from-scratch substrate.
+
+Parameters are addressed by string keys (e.g. ``"lstm/W_x"``) so an
+optimiser instance can own state for every layer of a model without the
+model having to know about optimiser internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: applies keyed gradient updates to keyed parameters."""
+
+    def step(self, params: dict, grads: dict) -> None:
+        """Update ``params`` in place from ``grads`` (matching keys).
+
+        Both dicts map parameter names to NumPy arrays.  Keys present in
+        ``params`` but absent from ``grads`` are left untouched, so frozen
+        layers simply omit their gradients.
+        """
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def step(self, params: dict, grads: dict) -> None:
+        for key, grad in grads.items():
+            if key not in params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            if self.momentum:
+                velocity = self._velocity.setdefault(key, np.zeros_like(grad))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                params[key] += velocity
+            else:
+                params[key] -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction.
+
+    The default hyper-parameters are the TensorFlow defaults the paper's
+    offline training would have used.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t = 0
+
+    def step(self, params: dict, grads: dict) -> None:
+        self._t += 1
+        lr_t = (
+            self.learning_rate
+            * np.sqrt(1.0 - self.beta2**self._t)
+            / (1.0 - self.beta1**self._t)
+        )
+        for key, grad in grads.items():
+            if key not in params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            m = self._m.setdefault(key, np.zeros_like(grad))
+            v = self._v.setdefault(key, np.zeros_like(grad))
+            m += (1.0 - self.beta1) * (grad - m)
+            v += (1.0 - self.beta2) * (grad * grad - v)
+            params[key] -= lr_t * m / (np.sqrt(v) + self.epsilon)
+
+
+def clip_gradients(grads: dict, max_norm: float) -> float:
+    """Scale all gradients in place so their global L2 norm ≤ ``max_norm``.
+
+    Gradient clipping is essential for stable BPTT over length-100
+    sequences.  Returns the pre-clip global norm, which the trainer logs.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for grad in grads.values():
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads.values():
+            grad *= scale
+    return norm

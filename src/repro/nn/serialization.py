@@ -1,0 +1,145 @@
+"""Text-file weight exchange between offline training and the host program.
+
+Section III-A: "Once the embeddings and LSTM have been trained until
+convergence, the associated weights and biases are extracted and written to
+a text file. ... the host program ... ingests this text file amid
+initializing the FPGA."
+
+The format here is deliberately plain — a human-inspectable sectioned text
+file — because that is the contract the paper describes.  Each section is::
+
+    # <name> <dim0> <dim1> ...
+    <one value per line, row-major>
+
+Section names are fixed: ``embedding``, ``lstm_W_x``, ``lstm_W_h``,
+``lstm_b``, ``fc_W``, ``fc_b`` — the embedding table, the three arrays of
+Keras' ``LSTM.get_weights()``, and the fully-connected head.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.nn.model import SequenceClassifier
+
+#: Canonical section order in the weight file.
+SECTION_NAMES = ("embedding", "lstm_W_x", "lstm_W_h", "lstm_b", "fc_W", "fc_b")
+
+
+def dump_weights(model: SequenceClassifier, path=None) -> str:
+    """Serialise a trained model's parameters to the text format.
+
+    Parameters
+    ----------
+    model:
+        The trained classifier.
+    path:
+        Optional file path (str or Path).  When given, the text is also
+        written there.
+
+    Returns
+    -------
+    str
+        The serialised weight file contents.
+    """
+    arrays = dict(zip(SECTION_NAMES, model.get_weights()))
+    buffer = io.StringIO()
+    for name in SECTION_NAMES:
+        array = np.asarray(arrays[name], dtype=np.float64)
+        dims = " ".join(str(d) for d in array.shape)
+        buffer.write(f"# {name} {dims}\n")
+        for value in array.reshape(-1):
+            # repr() of a Python float round-trips the full 64-bit value.
+            buffer.write(f"{float(value)!r}\n")
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def load_weights(source) -> dict:
+    """Parse a weight file back into named NumPy arrays.
+
+    Parameters
+    ----------
+    source:
+        A file path, or a string containing the file contents (anything
+        with a newline is treated as contents).
+
+    Returns
+    -------
+    dict
+        Mapping of section name → ``numpy.ndarray`` with original shapes.
+
+    Raises
+    ------
+    ValueError
+        On malformed input: unknown/duplicate sections, wrong value counts,
+        or missing sections.
+    """
+    if isinstance(source, str) and "\n" in source:
+        text = source
+    else:
+        with open(source) as handle:
+            text = handle.read()
+
+    arrays: dict = {}
+    current_name = None
+    current_shape: tuple = ()
+    current_values: list = []
+
+    def flush() -> None:
+        if current_name is None:
+            return
+        expected = int(np.prod(current_shape)) if current_shape else 1
+        if len(current_values) != expected:
+            raise ValueError(
+                f"section {current_name!r}: expected {expected} values, got "
+                f"{len(current_values)}"
+            )
+        arrays[current_name] = np.array(current_values, dtype=np.float64).reshape(
+            current_shape
+        )
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            flush()
+            parts = line[1:].split()
+            if not parts:
+                raise ValueError(f"line {line_number}: empty section header")
+            name = parts[0]
+            if name not in SECTION_NAMES:
+                raise ValueError(f"line {line_number}: unknown section {name!r}")
+            if name in arrays:
+                raise ValueError(f"line {line_number}: duplicate section {name!r}")
+            current_name = name
+            current_shape = tuple(int(d) for d in parts[1:])
+            current_values = []
+        else:
+            if current_name is None:
+                raise ValueError(f"line {line_number}: value before any section header")
+            try:
+                current_values.append(float(line))
+            except ValueError:
+                raise ValueError(
+                    f"line {line_number}: not a number: {line!r}"
+                ) from None
+    flush()
+
+    missing = [name for name in SECTION_NAMES if name not in arrays]
+    if missing:
+        raise ValueError(f"weight file missing sections: {missing}")
+    return arrays
+
+
+def load_into_model(source, model: SequenceClassifier) -> SequenceClassifier:
+    """Load a weight file into an existing (architecture-matching) model."""
+    arrays = load_weights(source)
+    model.set_weights([arrays[name] for name in SECTION_NAMES])
+    return model

@@ -1,0 +1,361 @@
+"""Benign workload profiles (paper Appendix A).
+
+The benign half of the dataset comes from "manual interaction with such
+environments and via executing popular applications", 30 of them, drawn
+from The Portable Freeware Collection's Top Ten lists (2018-2021) and
+Popular Titles.  Each application profile is a looping *session*: a
+startup phase followed by repeated work phases until the requested trace
+length is reached.
+
+Several profiles intentionally overlap with ransomware behaviours —
+archivers and password managers use the CryptoAPI, backup tools walk
+directories and rewrite many files — because those hard negatives are
+what makes 0.98-accuracy nontrivial rather than a vocabulary-lookup
+exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ransomware.families import (
+    DIRECTORY_WALK,
+    HTTP_C2,
+    Motif,
+    Phase,
+    encryption_phase,
+)
+
+# Benign motifs -------------------------------------------------------
+
+UI_MESSAGE_PUMP = Motif(
+    "ui_message_pump",
+    ("GetMessageW", "TranslateMessage", "DispatchMessageW", "PeekMessageW", "DefWindowProcW"),
+)
+
+OPEN_DOCUMENT = Motif(
+    "open_document",
+    ("CreateFileW", "GetFileSizeEx", "ReadFile", "ReadFile", "CloseHandle"),
+)
+
+SAVE_DOCUMENT = Motif(
+    "save_document",
+    ("CreateFileW", "WriteFile", "FlushFileBuffers", "SetEndOfFile", "CloseHandle"),
+)
+
+SETTINGS_READ = Motif(
+    "settings_read",
+    ("RegOpenKeyExW", "RegQueryValueExW", "RegQueryValueExW", "RegCloseKey"),
+)
+
+UPDATE_CHECK = Motif(
+    "update_check",
+    ("InternetOpenW", "InternetOpenUrlW", "InternetReadFile", "InternetCloseHandle"),
+)
+
+ARCHIVE_COMPRESS = Motif(
+    "archive_compress",
+    (
+        "FindNextFileW", "CreateFileW", "ReadFile", "CryptHashData",
+        "WriteFile", "CloseHandle",
+    ),
+)
+
+ARCHIVE_ENCRYPT = Motif(
+    # An AES-protected 7z/zip job: a legitimate crypto+file workload.
+    "archive_encrypt",
+    (
+        "FindNextFileW", "CreateFileW", "ReadFile", "CryptEncrypt",
+        "WriteFile", "CloseHandle",
+    ),
+)
+
+VAULT_UNLOCK = Motif(
+    "vault_unlock",
+    (
+        "CryptAcquireContextW", "CryptCreateHash", "CryptHashData",
+        "CryptDeriveKey", "CryptDecrypt",
+    ),
+)
+
+MEDIA_STREAM = Motif(
+    "media_stream",
+    ("ReadFile", "ReadFile", "VirtualAlloc", "BitBlt", "Sleep"),
+)
+
+SYNC_UPLOAD = Motif(
+    "sync_upload",
+    ("CreateFileW", "ReadFile", "send", "recv", "CloseHandle"),
+)
+
+BACKUP_COPY = Motif(
+    "backup_copy",
+    ("FindNextFileW", "CreateFileW", "ReadFile", "WriteFile", "SetFileAttributesW", "CloseHandle"),
+)
+
+ENCRYPTED_BACKUP = Motif(
+    # An encrypt-then-atomically-replace backup pass: a legitimate
+    # workload that is call-for-call almost the ransomware encryption
+    # loop (the paper's hardest benign negatives — and the detector's
+    # main source of false positives).
+    "encrypted_backup",
+    (
+        "FindNextFileW", "CreateFileW", "ReadFile", "CryptEncrypt",
+        "WriteFile", "SetEndOfFile", "MoveFileExW", "CloseHandle",
+    ),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BenignProfile:
+    """One benign workload: startup, then work phases looped to length."""
+
+    name: str
+    startup: Phase
+    work_phases: tuple
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.work_phases:
+            raise ValueError(f"{self.name}: needs at least one work phase")
+
+
+def _startup(length: int = 140) -> Phase:
+    return Phase(
+        name="startup",
+        length=length,
+        category_weights={
+            "system_info": 4.0, "registry": 3.0, "file": 2.0,
+            "memory": 2.0, "ui": 1.5,
+        },
+        motifs=(SETTINGS_READ,),
+        motif_probability=0.25,
+    )
+
+
+def startup_phase(length: int = 140) -> Phase:
+    """Public alias: the sandbox uses this exact phase as the benign-
+    identical masquerade prelude of ransomware traces."""
+    return _startup(length)
+
+
+def _ui_session(length: int = 300) -> Phase:
+    return Phase(
+        name="ui_session",
+        length=length,
+        category_weights={"ui": 6.0, "synchronization": 1.5, "system_info": 0.5},
+        motifs=(UI_MESSAGE_PUMP,),
+        motif_probability=0.55,
+    )
+
+
+def _document_work(length: int = 250) -> Phase:
+    return Phase(
+        name="document_work",
+        length=length,
+        category_weights={"file": 4.0, "ui": 3.0, "memory": 1.0},
+        motifs=(OPEN_DOCUMENT, SAVE_DOCUMENT, UI_MESSAGE_PUMP),
+        motif_probability=0.45,
+    )
+
+
+def _editor(name: str, description: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(),
+        work_phases=(_ui_session(), _document_work()),
+        description=description,
+    )
+
+
+def _archiver(name: str, encrypted_jobs: bool) -> BenignProfile:
+    job_motifs = (ARCHIVE_COMPRESS, ARCHIVE_ENCRYPT, DIRECTORY_WALK) if encrypted_jobs else (
+        ARCHIVE_COMPRESS, DIRECTORY_WALK,
+    )
+    work: tuple = (
+        Phase(
+            name="archive_job",
+            length=420,
+            category_weights={"file": 6.0, "crypto": 1.2, "memory": 1.0},
+            motifs=job_motifs,
+            motif_probability=0.6,
+        ),
+        _ui_session(160),
+    )
+    if encrypted_jobs:
+        # An AES-protected archive pass over a directory tree is generated
+        # by the same phase as ransomware encryption (see families.py).
+        work = work + (encryption_phase(130),)
+    return BenignProfile(
+        name=name,
+        startup=_startup(100),
+        work_phases=work,
+        description="Archiver; AES-protected jobs are legitimate crypto+file loops.",
+    )
+
+
+def _media_player(name: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(),
+        work_phases=(
+            Phase(
+                name="playback",
+                length=450,
+                category_weights={"file": 3.0, "ui": 3.0, "memory": 2.0, "synchronization": 1.5},
+                motifs=(MEDIA_STREAM, UI_MESSAGE_PUMP),
+                motif_probability=0.5,
+            ),
+        ),
+        description="Streaming reads plus a render/UI loop.",
+    )
+
+
+def _browserish(name: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(170),
+        work_phases=(
+            Phase(
+                name="browsing",
+                length=400,
+                category_weights={"network": 4.5, "ui": 3.0, "file": 1.5, "memory": 1.5},
+                motifs=(HTTP_C2, UPDATE_CHECK, UI_MESSAGE_PUMP),
+                motif_probability=0.45,
+            ),
+        ),
+        description="Network-heavy interactive client.",
+    )
+
+
+def _sync_tool(name: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(110),
+        work_phases=(
+            Phase(
+                name="sync",
+                length=380,
+                category_weights={"file": 4.0, "network": 4.0, "synchronization": 1.0},
+                motifs=(SYNC_UPLOAD, DIRECTORY_WALK),
+                motif_probability=0.55,
+            ),
+        ),
+        description="Walks directories and moves them over the network.",
+    )
+
+
+def _backup_tool(name: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(120),
+        work_phases=(
+            Phase(
+                name="backup_pass",
+                length=430,
+                category_weights={"file": 6.5, "system_info": 0.8, "crypto": 0.8},
+                motifs=(BACKUP_COPY, ENCRYPTED_BACKUP, DIRECTORY_WALK),
+                motif_probability=0.6,
+            ),
+            # Encrypting backup pass: same generator as ransomware
+            # encryption — indistinguishable by construction.
+            encryption_phase(170),
+        ),
+        description="Bulk directory walk + rewrite: the hardest benign case.",
+    )
+
+
+def _password_manager(name: str) -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(130),
+        work_phases=(
+            Phase(
+                name="vault_session",
+                length=300,
+                category_weights={"crypto": 3.0, "ui": 3.0, "file": 1.5, "registry": 1.0},
+                motifs=(VAULT_UNLOCK, UI_MESSAGE_PUMP),
+                motif_probability=0.45,
+            ),
+        ),
+        description="Legitimate CryptoAPI user (KDF + decrypt, no mass file IO).",
+    )
+
+
+def _utility(name: str, description: str = "") -> BenignProfile:
+    return BenignProfile(
+        name=name,
+        startup=_startup(100),
+        work_phases=(
+            Phase(
+                name="utility_work",
+                length=320,
+                category_weights={
+                    "file": 2.5, "registry": 2.0, "ui": 2.5,
+                    "system_info": 2.0, "process": 1.0,
+                },
+                motifs=(SETTINGS_READ, OPEN_DOCUMENT, UI_MESSAGE_PUMP),
+                motif_probability=0.35,
+            ),
+        ),
+        description=description or "General desktop utility.",
+    )
+
+
+#: The 30 portable applications (Portable Freeware Top Tens, 2018-2021).
+PORTABLE_APPLICATIONS = (
+    _editor("Notepad++", "Tabbed text editor."),
+    _editor("AkelPad", "Lightweight editor."),
+    _editor("CudaText", "Code editor."),
+    _archiver("7-Zip Portable", encrypted_jobs=True),
+    _archiver("PeaZip Portable", encrypted_jobs=True),
+    _archiver("Bandizip Portable", encrypted_jobs=False),
+    _media_player("VLC Portable"),
+    _media_player("MPC-HC Portable"),
+    _media_player("foobar2000 Portable"),
+    _browserish("Firefox Portable"),
+    _browserish("Iron Portable"),
+    _browserish("qBittorrent Portable"),
+    _sync_tool("FreeFileSync Portable"),
+    _sync_tool("Syncthing Portable"),
+    _backup_tool("Cobian Backup Portable"),
+    _backup_tool("AOMEI Backupper Portable"),
+    _password_manager("KeePass Portable"),
+    _password_manager("PasswordSafe Portable"),
+    _utility("Everything Search", "Filesystem indexer."),
+    _utility("WizTree Portable", "Disk usage analyser."),
+    _utility("CPU-Z Portable", "Hardware prober."),
+    _utility("HWiNFO Portable", "Hardware monitor."),
+    _utility("Rufus Portable", "USB imaging tool."),
+    _utility("Ditto Portable", "Clipboard manager."),
+    _utility("ShareX Portable", "Screenshot tool."),
+    _utility("SumatraPDF Portable", "PDF reader."),
+    _utility("IrfanView Portable", "Image viewer."),
+    _utility("Audacity Portable", "Audio editor."),
+    _utility("Greenshot Portable", "Screen capture."),
+    _utility("Process Explorer", "Task-manager replacement."),
+)
+
+#: Manual desktop interaction (Appendix A's second benign source).
+MANUAL_INTERACTION = BenignProfile(
+    name="ManualInteraction",
+    startup=_startup(160),
+    work_phases=(
+        _ui_session(350),
+        _document_work(280),
+        Phase(
+            name="desktop_misc",
+            length=260,
+            category_weights={
+                "ui": 3.0, "file": 2.0, "registry": 1.5, "process": 1.5,
+                "network": 1.0, "system_info": 1.0,
+            },
+            motifs=(UI_MESSAGE_PUMP, OPEN_DOCUMENT, UPDATE_CHECK),
+            motif_probability=0.35,
+        ),
+    ),
+    description="A user clicking around Windows between application runs.",
+)
+
+#: Everything the benign trace generator samples from.
+ALL_BENIGN_PROFILES = PORTABLE_APPLICATIONS + (MANUAL_INTERACTION,)

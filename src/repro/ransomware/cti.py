@@ -1,0 +1,236 @@
+"""CTI-driven model updates (paper Section III-A).
+
+"In the event that the proposed approach is leveraged for prompt
+ransomware detection and mitigation, it is advisable to update the
+FPGA-based model with a version that has been retrained on new ransomware
+strains once they are uncovered in Cyber Threat Intelligence (CTI) feeds."
+
+Crucially, the FPGA binary's structure "remains fixed regardless of
+changes in the number of parameters or embeddings trained in the offline
+model", so an update is a *weight reload*, not a recompile.
+:class:`ModelUpdateWorkflow` reproduces that loop: ingest a CTI report
+describing a new strain, synthesise training data for it, retrain offline,
+export the weight file, and hot-swap it into the running engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.engine import CSDInferenceEngine
+from repro.core.weights import HostWeights
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.ransomware.dataset import Dataset, extract_windows
+from repro.ransomware.families import (
+    DIRECTORY_WALK,
+    ENCRYPT_LOOP,
+    EXFILTRATE,
+    FamilyProfile,
+    Phase,
+    SERVICE_KILL,
+    _enumeration_phase,
+    _key_setup_phase,
+    _note_phase,
+    _recon_phase,
+)
+from repro.ransomware.sandbox import CuckooSandbox
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreatReport:
+    """A CTI feed entry describing a newly observed strain."""
+
+    strain: FamilyProfile
+    first_seen: str            # ISO date from the feed
+    source_feed: str = "cti"
+
+
+#: An example novel strain (double-extortion, service-killing) for the
+#: model-update example and tests: not in the training families.
+NOVEL_STRAIN = FamilyProfile(
+    name="Hive-like",
+    variant_count=3,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(100),
+        Phase(
+            name="defense_evasion",
+            length=110,
+            category_weights={"service": 4.0, "process": 3.0, "registry": 1.5},
+            motifs=(SERVICE_KILL,),
+            motif_probability=0.45,
+        ),
+        _key_setup_phase(60, bcrypt=True),
+        _enumeration_phase(190),
+        Phase(
+            name="exfiltrate_then_encrypt",
+            length=1250,
+            category_weights={"file": 4.5, "network": 2.5, "crypto": 2.5},
+            motifs=(EXFILTRATE, ENCRYPT_LOOP, DIRECTORY_WALK),
+            motif_probability=0.65,
+        ),
+        _note_phase(90),
+    ),
+    description="Double extortion: interleaved exfiltration and encryption.",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one CTI-driven update cycle."""
+
+    strain_name: str
+    sequences_added: int
+    epochs_trained: int
+    detection_rate_before: float
+    detection_rate_after: float
+
+
+class CtiFeed:
+    """A queue of threat reports awaiting model updates.
+
+    Models the operational loop: reports arrive from intelligence
+    sources, the operator (or an automation) drains them through
+    :meth:`ModelUpdateWorkflow.process_feed`, and processed strains are
+    remembered so duplicate reports are ignored.
+    """
+
+    def __init__(self, reports=()):
+        self._pending: list = list(reports)
+        self._processed: list = []
+
+    def publish(self, report: ThreatReport) -> None:
+        """A new report arrives on the feed."""
+        self._pending.append(report)
+
+    @property
+    def pending(self) -> tuple:
+        return tuple(self._pending)
+
+    @property
+    def processed_strains(self) -> tuple:
+        return tuple(self._processed)
+
+    def take(self) -> ThreatReport | None:
+        """Pop the oldest unprocessed report, skipping known strains."""
+        while self._pending:
+            report = self._pending.pop(0)
+            if report.strain.name not in self._processed:
+                return report
+        return None
+
+    def mark_processed(self, report: ThreatReport) -> None:
+        self._processed.append(report.strain.name)
+
+
+class ModelUpdateWorkflow:
+    """Retrain-and-hot-swap loop for a deployed engine.
+
+    Parameters
+    ----------
+    engine:
+        The deployed (running) CSD engine to update in place.
+    model:
+        The offline training model whose weights the engine currently
+        runs.  Retraining continues from these weights (fine-tuning).
+    """
+
+    def __init__(self, engine: CSDInferenceEngine, model):
+        self.engine = engine
+        self.model = model
+
+    def synthesize_strain_data(
+        self, report: ThreatReport, windows_per_variant: int = 60, seed: int = 0
+    ) -> Dataset:
+        """Sandbox the new strain and window its traces (Appendix A flow)."""
+        length = self.engine.config.dimensions.sequence_length
+        sequences: list = []
+        for variant in range(report.strain.variant_count):
+            sandbox = CuckooSandbox(
+                os_version="windows10" if variant % 2 == 0 else "windows11",
+                seed=seed,
+            )
+            trace = sandbox.execute_ransomware(report.strain, variant)
+            sequences.extend(extract_windows(trace, length, windows_per_variant))
+        count = len(sequences)
+        return Dataset(
+            sequences=np.asarray(sequences, dtype=np.int64),
+            labels=np.ones(count, dtype=np.int64),
+            sources=tuple(report.strain.name for _ in range(count)),
+        )
+
+    def detection_rate(self, dataset: Dataset) -> float:
+        """Fraction of the given (all-positive) windows the engine flags."""
+        predictions = self.engine.predict(dataset.sequences)
+        return float(predictions.mean())
+
+    def apply_update(
+        self,
+        report: ThreatReport,
+        benign_refresh: Dataset,
+        epochs: int = 5,
+        seed: int = 0,
+    ) -> UpdateResult:
+        """One full update cycle: synthesise, fine-tune, hot-swap.
+
+        Parameters
+        ----------
+        report:
+            The CTI entry for the new strain.
+        benign_refresh:
+            Benign (and optionally old-ransomware) sequences mixed into
+            fine-tuning so the model does not forget the old classes.
+        epochs:
+            Fine-tuning epochs (small: this is an update, not a retrain
+            from scratch).
+        """
+        strain_data = self.synthesize_strain_data(report, seed=seed)
+        before = self.detection_rate(strain_data)
+
+        combined_sequences = np.concatenate(
+            [strain_data.sequences, benign_refresh.sequences]
+        )
+        combined_labels = np.concatenate([strain_data.labels, benign_refresh.labels])
+        trainer = Trainer(
+            self.model,
+            TrainingConfig(epochs=epochs, eval_every=max(1, epochs), seed=seed),
+        )
+        trainer.fit(combined_sequences, combined_labels,
+                    strain_data.sequences, strain_data.labels)
+
+        # Hot swap: same binary, new parameters (Section III-A).
+        self.engine.device.ddr.banks[0].free_all()
+        self.engine.load_weights(HostWeights.from_model(self.model))
+        after = self.detection_rate(strain_data)
+        return UpdateResult(
+            strain_name=report.strain.name,
+            sequences_added=len(strain_data),
+            epochs_trained=epochs,
+            detection_rate_before=before,
+            detection_rate_after=after,
+        )
+
+    def process_feed(
+        self,
+        feed: CtiFeed,
+        benign_refresh: Dataset,
+        epochs: int = 5,
+        seed: int = 0,
+    ) -> list:
+        """Drain a CTI feed, applying one update cycle per new strain.
+
+        Returns the list of :class:`UpdateResult` in processing order.
+        Duplicate reports for an already-processed strain are skipped.
+        """
+        results: list = []
+        while True:
+            report = feed.take()
+            if report is None:
+                return results
+            results.append(
+                self.apply_update(report, benign_refresh, epochs=epochs, seed=seed)
+            )
+            feed.mark_processed(report)

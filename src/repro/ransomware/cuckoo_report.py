@@ -1,0 +1,114 @@
+"""Cuckoo Sandbox report interchange.
+
+The paper's dataset pipeline runs samples through Cuckoo Sandbox and
+consumes its JSON reports.  This module emits and ingests the slice of
+that report format the pipeline needs — the per-process API-call stream
+plus summary statistics — so users with *real* Cuckoo output can feed it
+to this repository's windowing/training code, and our synthetic traces
+can round-trip through the same interchange.
+
+Format (subset of Cuckoo 2.x ``report.json``):
+
+.. code-block:: json
+
+    {
+      "info": {"package": "exe", "platform": "windows10", "custom": "Ryuk/0"},
+      "target": {"file": {"name": "Ryuk-variant-0"}},
+      "behavior": {
+        "processes": [{"pid": 1000,
+                       "calls": [{"api": "NtCreateFile"}, ...]}],
+        "apistats": {"1000": {"NtCreateFile": 12, ...}}
+      },
+      "repro": {"is_ransomware": true, "variant": 0}
+    }
+
+Unknown API names in foreign reports are dropped (with a count returned)
+rather than guessed — the vocabulary is fixed by the deployed embedding
+table.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+
+from repro.ransomware.api_vocabulary import API_TO_ID
+from repro.ransomware.sandbox import ApiTrace
+
+
+def trace_to_report(trace: ApiTrace, pid: int = 1000) -> dict:
+    """Render one trace as a Cuckoo-style report dict."""
+    calls = [{"api": name} for name in trace.calls]
+    apistats = collections.Counter(trace.calls)
+    return {
+        "info": {
+            "package": "exe",
+            "platform": trace.os_version,
+            "custom": f"{trace.source}/{trace.variant}",
+        },
+        "target": {"file": {"name": f"{trace.source}-variant-{trace.variant}"}},
+        "behavior": {
+            "processes": [{"pid": pid, "calls": calls}],
+            "apistats": {str(pid): dict(apistats)},
+        },
+        "repro": {"is_ransomware": trace.is_ransomware, "variant": trace.variant},
+    }
+
+
+def report_to_trace(report: dict) -> tuple:
+    """Parse a Cuckoo-style report back into a trace.
+
+    Returns
+    -------
+    tuple
+        ``(ApiTrace, dropped_calls)`` — calls outside the 278-token
+        vocabulary are dropped and counted, never remapped.
+
+    Raises
+    ------
+    ValueError
+        If the report lacks the behaviour section or contains no calls.
+    """
+    try:
+        processes = report["behavior"]["processes"]
+    except (KeyError, TypeError):
+        raise ValueError("report has no behavior.processes section") from None
+    if not processes:
+        raise ValueError("report contains no processes")
+
+    calls: list = []
+    dropped = 0
+    for process in processes:
+        for call in process.get("calls", ()):
+            api = call.get("api")
+            if api in API_TO_ID:
+                calls.append(api)
+            else:
+                dropped += 1
+    if not calls:
+        raise ValueError("report contains no in-vocabulary API calls")
+
+    info = report.get("info", {})
+    custom = info.get("custom", "unknown/0")
+    source = custom.split("/")[0] if "/" in custom else custom
+    repro_meta = report.get("repro", {})
+    trace = ApiTrace(
+        calls=tuple(calls),
+        source=source,
+        variant=int(repro_meta.get("variant", 0)),
+        os_version=info.get("platform", "windows10"),
+        is_ransomware=bool(repro_meta.get("is_ransomware", False)),
+    )
+    return trace, dropped
+
+
+def save_report(trace: ApiTrace, path, pid: int = 1000) -> None:
+    """Write a trace's Cuckoo-style report to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_report(trace, pid=pid), handle)
+
+
+def load_report(path) -> tuple:
+    """Read a Cuckoo-style JSON report; returns ``(trace, dropped)``."""
+    with open(path) as handle:
+        return report_to_trace(json.load(handle))

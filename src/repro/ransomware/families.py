@@ -1,0 +1,616 @@
+"""Ransomware family behaviour profiles (paper Table II / Appendix A).
+
+Ten families; all encrypt files, four also self-propagate.  (The paper's
+prose says "78 variants" but its own Table II rows sum to 76 — we
+reproduce the table's per-family counts.)  Each family is described as an ordered list of behaviour
+*phases*; each phase mixes weighted draws over API categories with
+family-characteristic *motifs* — short fixed call sub-sequences such as
+the read-encrypt-write-rename loop — that give the traces learnable
+temporal structure, the thing the paper's LSTM exploits.
+
+The profiles are behavioural simulations assembled from public malware
+analyses of the named families; no actual malware logic is present (see
+DESIGN.md, "Non-goals").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Motif:
+    """A short, characteristic API-call sub-sequence."""
+
+    name: str
+    calls: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One behavioural phase of a trace.
+
+    Parameters
+    ----------
+    name:
+        Phase label (useful when debugging generated traces).
+    length:
+        Nominal number of calls emitted (jittered per variant).
+    category_weights:
+        Relative draw weights over API categories for filler calls.
+    motifs:
+        Motifs characteristic of this phase.
+    motif_probability:
+        Chance that the next emission is a whole motif instead of a
+        single filler call.
+    """
+
+    name: str
+    length: int
+    category_weights: dict
+    motifs: tuple = ()
+    motif_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"phase {self.name}: length must be positive")
+        if not self.category_weights:
+            raise ValueError(f"phase {self.name}: needs category weights")
+        if not 0.0 <= self.motif_probability <= 1.0:
+            raise ValueError(f"phase {self.name}: bad motif probability")
+        if self.motif_probability > 0.0 and not self.motifs:
+            raise ValueError(f"phase {self.name}: motif probability without motifs")
+
+
+@dataclasses.dataclass(frozen=True)
+class FamilyProfile:
+    """A Table II row plus its behavioural description.
+
+    ``masquerade_length`` is the number of calls of benign-identical
+    prelude the sandbox prepends before the family's own phases: droppers
+    run inside (or as) a legitimate-looking host process until the payload
+    fires, so the earliest trace windows are genuinely "indistinguishable
+    from those of benign nature" (Appendix A).  This is the controlled
+    source of the detector's residual false negatives.
+    """
+
+    name: str
+    variant_count: int
+    encrypts: bool
+    self_propagates: bool
+    phases: tuple
+    description: str = ""
+    masquerade_length: int = 130
+
+    def __post_init__(self) -> None:
+        if self.variant_count <= 0:
+            raise ValueError(f"{self.name}: variant_count must be positive")
+        if not self.phases:
+            raise ValueError(f"{self.name}: needs at least one phase")
+        if self.masquerade_length < 0:
+            raise ValueError(f"{self.name}: masquerade_length must be >= 0")
+
+
+# ----------------------------------------------------------------------
+# Shared motifs
+# ----------------------------------------------------------------------
+
+ENCRYPT_LOOP = Motif(
+    "encrypt_loop",
+    (
+        "FindNextFileW", "GetFileAttributesW", "NtCreateFile", "NtReadFile",
+        "CryptEncrypt", "NtWriteFile", "SetEndOfFile", "MoveFileWithProgressW",
+        "NtClose",
+    ),
+)
+
+BCRYPT_LOOP = Motif(
+    "bcrypt_loop",
+    (
+        "FindNextFileW", "NtCreateFile", "NtReadFile", "BCryptEncrypt",
+        "NtWriteFile", "FlushFileBuffers", "MoveFileExW", "NtClose",
+    ),
+)
+
+WIPE_ORIGINAL = Motif(
+    "wipe_original",
+    ("NtCreateFile", "NtWriteFile", "SetEndOfFile", "NtClose", "DeleteFileW"),
+)
+
+KEY_SETUP = Motif(
+    "key_setup",
+    (
+        "CryptAcquireContextW", "CryptGenRandom", "CryptGenKey",
+        "CryptExportKey", "CryptDestroyKey",
+    ),
+)
+
+BCRYPT_KEY_SETUP = Motif(
+    "bcrypt_key_setup",
+    (
+        "BCryptOpenAlgorithmProvider", "BCryptGenRandom",
+        "BCryptGenerateSymmetricKey",
+    ),
+)
+
+C2_BEACON = Motif(
+    "c2_beacon",
+    (
+        "WSAStartup", "GetAddrInfoW", "socket", "connect", "send", "recv",
+        "closesocket",
+    ),
+)
+
+HTTP_C2 = Motif(
+    "http_c2",
+    (
+        "InternetOpenW", "InternetConnectW", "HttpOpenRequestW",
+        "HttpSendRequestW", "InternetReadFile", "InternetCloseHandle",
+    ),
+)
+
+SHADOW_DELETE = Motif(
+    "shadow_delete",
+    (
+        "CreateProcessW", "NtQueryInformationProcess", "WaitForSingleObject",
+        "GetExitCodeProcess", "CloseHandle",
+    ),
+)
+
+PERSISTENCE_RUN_KEY = Motif(
+    "persistence_run_key",
+    ("RegOpenKeyExW", "RegSetValueExW", "RegCloseKey"),
+)
+
+RANSOM_NOTE = Motif(
+    "ransom_note",
+    ("NtCreateFile", "NtWriteFile", "NtClose", "SetClipboardData", "MessageBoxW"),
+)
+
+ENUMERATE_DRIVES = Motif(
+    "enumerate_drives",
+    ("GetLogicalDrives", "GetDriveTypeW", "GetVolumeInformationW", "GetDiskFreeSpaceExW"),
+)
+
+DIRECTORY_WALK = Motif(
+    "directory_walk",
+    ("FindFirstFileExW", "FindNextFileW", "FindNextFileW", "NtQueryDirectoryFile", "FindClose"),
+)
+
+SMB_SCAN = Motif(
+    "smb_scan",
+    ("socket", "htons", "inet_addr", "connect", "send", "recv", "closesocket"),
+)
+
+PROCESS_INJECTION = Motif(
+    "process_injection",
+    (
+        "OpenProcess", "VirtualAllocEx", "WriteProcessMemory",
+        "CreateRemoteThread", "CloseHandle",
+    ),
+)
+
+SERVICE_KILL = Motif(
+    "service_kill",
+    (
+        "OpenSCManagerW", "OpenServiceW", "ControlService",
+        "QueryServiceStatusEx", "CloseServiceHandle",
+    ),
+)
+
+EXFILTRATE = Motif(
+    "exfiltrate",
+    ("NtCreateFile", "NtReadFile", "send", "send", "NtClose"),
+)
+
+SELF_INFECT = Motif(
+    "self_infect",
+    (
+        "NtCreateFile", "NtReadFile", "NtWriteFile", "SetFileAttributesW",
+        "NtSetInformationFile", "NtClose",
+    ),
+)
+
+LOCK_SCREEN = Motif(
+    "lock_screen",
+    (
+        "CreateWindowExW", "ShowWindow", "SetForegroundWindow",
+        "GetForegroundWindow", "SendMessageW",
+    ),
+)
+
+KILL_SWITCH_CHECK = Motif(
+    "kill_switch_check",
+    ("InternetOpenW", "InternetOpenUrlW", "InternetCloseHandle"),
+)
+
+MUTEX_GUARD = Motif(
+    "mutex_guard",
+    ("CreateMutexW", "WaitForSingleObject",),
+)
+
+
+# ----------------------------------------------------------------------
+# Shared phase builders
+# ----------------------------------------------------------------------
+
+SETTINGS_PROBE = Motif(
+    # Registry settings reads: indistinguishable from an application
+    # loading its configuration.
+    "settings_probe",
+    ("RegOpenKeyExW", "RegQueryValueExW", "RegQueryValueExW", "RegCloseKey"),
+)
+
+
+def _recon_phase(length: int = 120) -> Phase:
+    """System fingerprinting before the payload fires."""
+    return Phase(
+        name="recon",
+        length=length,
+        category_weights={
+            "system_info": 5.0, "registry": 3.0, "process": 2.0,
+            "file": 1.0, "memory": 1.0,
+        },
+        motifs=(MUTEX_GUARD, SETTINGS_PROBE),
+        motif_probability=0.1,
+    )
+
+
+def _persistence_phase(length: int = 80) -> Phase:
+    return Phase(
+        name="persistence",
+        length=length,
+        category_weights={"registry": 5.0, "file": 2.0, "service": 2.0, "process": 1.0},
+        motifs=(PERSISTENCE_RUN_KEY,),
+        motif_probability=0.30,
+    )
+
+
+def _key_setup_phase(length: int = 60, bcrypt: bool = False) -> Phase:
+    return Phase(
+        name="key_setup",
+        length=length,
+        category_weights={"crypto": 5.0, "network": 2.0, "memory": 1.0},
+        motifs=(BCRYPT_KEY_SETUP if bcrypt else KEY_SETUP, C2_BEACON),
+        motif_probability=0.35,
+    )
+
+
+def _enumeration_phase(length: int = 200) -> Phase:
+    return Phase(
+        name="enumeration",
+        length=length,
+        category_weights={"file": 6.0, "system_info": 1.0},
+        motifs=(ENUMERATE_DRIVES, DIRECTORY_WALK),
+        motif_probability=0.45,
+    )
+
+
+def _encryption_phase(length: int = 1400, bcrypt: bool = False) -> Phase:
+    return Phase(
+        name="encryption",
+        length=length,
+        category_weights={"file": 5.0, "crypto": 3.0, "memory": 0.5},
+        motifs=(BCRYPT_LOOP if bcrypt else ENCRYPT_LOOP, WIPE_ORIGINAL, DIRECTORY_WALK),
+        motif_probability=0.70,
+    )
+
+
+def _shadow_phase(length: int = 40) -> Phase:
+    return Phase(
+        name="shadow_deletion",
+        length=length,
+        category_weights={"process": 4.0, "service": 3.0},
+        motifs=(SHADOW_DELETE, SERVICE_KILL),
+        motif_probability=0.50,
+    )
+
+
+def _note_phase(length: int = 80) -> Phase:
+    return Phase(
+        name="ransom_note",
+        length=length,
+        category_weights={"file": 3.0, "ui": 4.0, "registry": 1.0},
+        motifs=(RANSOM_NOTE,),
+        motif_probability=0.35,
+    )
+
+
+def _propagation_phase(length: int = 300) -> Phase:
+    return Phase(
+        name="propagation",
+        length=length,
+        category_weights={"network": 6.0, "process": 2.0, "memory": 1.0},
+        motifs=(SMB_SCAN, PROCESS_INJECTION),
+        motif_probability=0.55,
+    )
+
+
+# ----------------------------------------------------------------------
+# The ten families of Table II
+# ----------------------------------------------------------------------
+
+RYUK = FamilyProfile(
+    name="Ryuk",
+    variant_count=5,
+    encrypts=True,
+    self_propagates=True,
+    phases=(
+        _recon_phase(),
+        Phase(
+            name="injection",
+            length=100,
+            category_weights={"process": 4.0, "memory": 4.0},
+            motifs=(PROCESS_INJECTION,),
+            motif_probability=0.5,
+        ),
+        Phase(
+            name="service_stop",
+            length=90,
+            category_weights={"service": 5.0, "process": 2.0},
+            motifs=(SERVICE_KILL,),
+            motif_probability=0.55,
+        ),
+        _key_setup_phase(),
+        _enumeration_phase(),
+        _encryption_phase(),
+        _shadow_phase(60),
+        _note_phase(),
+        _propagation_phase(260),
+    ),
+    description="Targeted; injects into processes, stops AV/backup services.",
+)
+
+LOCKBIT = FamilyProfile(
+    name="Lockbit",
+    variant_count=6,
+    encrypts=True,
+    self_propagates=True,
+    phases=(
+        _recon_phase(80),
+        _persistence_phase(60),
+        _key_setup_phase(50),
+        Phase(
+            name="threaded_enumeration",
+            length=180,
+            category_weights={"file": 5.0, "process": 2.0, "synchronization": 2.0},
+            motifs=(DIRECTORY_WALK, ENUMERATE_DRIVES),
+            motif_probability=0.5,
+        ),
+        _encryption_phase(1500),
+        _shadow_phase(),
+        _note_phase(60),
+        _propagation_phase(280),
+    ),
+    description="Speed-focused; multi-threaded encryption, lateral movement.",
+)
+
+TESLACRYPT = FamilyProfile(
+    name="Teslacrypt",
+    variant_count=10,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(),
+        _persistence_phase(120),
+        _key_setup_phase(70),
+        Phase(
+            name="targeted_enumeration",
+            length=260,
+            category_weights={"file": 6.0, "registry": 1.5},
+            motifs=(DIRECTORY_WALK,),
+            motif_probability=0.5,
+        ),
+        _encryption_phase(1300),
+        _note_phase(100),
+    ),
+    description="Targets user/game files; heavy registry persistence.",
+)
+
+VIRLOCK = FamilyProfile(
+    name="Virlock",
+    variant_count=11,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(90),
+        _persistence_phase(100),
+        _key_setup_phase(40),
+        _enumeration_phase(180),
+        Phase(
+            name="infect_and_encrypt",
+            length=1200,
+            category_weights={"file": 5.0, "crypto": 2.0, "memory": 2.0},
+            motifs=(SELF_INFECT, ENCRYPT_LOOP),
+            motif_probability=0.65,
+        ),
+        Phase(
+            name="screen_lock",
+            length=220,
+            category_weights={"ui": 6.0, "process": 1.0},
+            motifs=(LOCK_SCREEN,),
+            motif_probability=0.5,
+        ),
+        _note_phase(70),
+    ),
+    description="Polymorphic file infector plus screen locker.",
+)
+
+CRYPTOWALL = FamilyProfile(
+    name="Cryptowall",
+    variant_count=8,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(),
+        Phase(
+            name="c2_negotiation",
+            length=180,
+            category_weights={"network": 6.0, "crypto": 2.0},
+            motifs=(HTTP_C2, C2_BEACON),
+            motif_probability=0.55,
+        ),
+        _persistence_phase(),
+        _key_setup_phase(70),
+        _enumeration_phase(),
+        _encryption_phase(1300),
+        _shadow_phase(),
+        _note_phase(),
+    ),
+    description="Long C2 key negotiation over HTTP before encrypting.",
+)
+
+CERBER = FamilyProfile(
+    name="Cerber",
+    variant_count=9,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(110),
+        _persistence_phase(),
+        _key_setup_phase(60, bcrypt=True),
+        _enumeration_phase(220),
+        _encryption_phase(1350, bcrypt=True),
+        _shadow_phase(),
+        Phase(
+            name="spoken_note",
+            length=130,
+            category_weights={"ui": 5.0, "file": 2.0, "system_info": 1.0},
+            motifs=(RANSOM_NOTE,),
+            motif_probability=0.4,
+        ),
+    ),
+    description="Uses CNG (BCrypt) APIs; text-to-speech ransom note.",
+)
+
+WANNACRY = FamilyProfile(
+    name="Wannacry",
+    variant_count=7,
+    encrypts=True,
+    self_propagates=True,
+    phases=(
+        Phase(
+            name="kill_switch",
+            length=40,
+            category_weights={"network": 5.0, "system_info": 1.0},
+            motifs=(KILL_SWITCH_CHECK,),
+            motif_probability=0.5,
+        ),
+        _recon_phase(80),
+        Phase(
+            name="service_install",
+            length=90,
+            category_weights={"service": 5.0, "file": 2.0},
+            motifs=(SERVICE_KILL,),
+            motif_probability=0.3,
+        ),
+        _key_setup_phase(60),
+        _enumeration_phase(),
+        _encryption_phase(1200),
+        _shadow_phase(),
+        _note_phase(90),
+        Phase(
+            name="worm_scan",
+            length=420,
+            category_weights={"network": 7.0, "memory": 1.5, "process": 1.0},
+            motifs=(SMB_SCAN,),
+            motif_probability=0.65,
+        ),
+    ),
+    description="EternalBlue worm; kill-switch domain check, SMB scanning.",
+)
+
+LOCKY = FamilyProfile(
+    name="Locky",
+    variant_count=6,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(),
+        Phase(
+            name="payload_download",
+            length=150,
+            category_weights={"network": 5.0, "file": 2.0, "memory": 1.5},
+            motifs=(HTTP_C2,),
+            motif_probability=0.5,
+        ),
+        _persistence_phase(70),
+        _key_setup_phase(),
+        _enumeration_phase(240),
+        _encryption_phase(1250),
+        _shadow_phase(),
+        _note_phase(),
+    ),
+    description="Macro dropper downloads the payload, renames to .locky.",
+)
+
+CHIMERA = FamilyProfile(
+    name="Chimera",
+    variant_count=9,
+    encrypts=True,
+    self_propagates=False,
+    phases=(
+        _recon_phase(),
+        _persistence_phase(),
+        _key_setup_phase(70),
+        _enumeration_phase(),
+        Phase(
+            name="exfiltration",
+            length=320,
+            category_weights={"network": 5.0, "file": 3.0},
+            motifs=(EXFILTRATE, C2_BEACON),
+            motif_probability=0.6,
+        ),
+        _encryption_phase(1150),
+        _note_phase(110),
+    ),
+    description="Doxware: exfiltrates files, threatens publication.",
+)
+
+BADRABBIT = FamilyProfile(
+    name="BadRabbit",
+    variant_count=5,
+    encrypts=True,
+    self_propagates=True,
+    phases=(
+        _recon_phase(90),
+        Phase(
+            name="scheduled_tasks",
+            length=100,
+            category_weights={"service": 4.0, "process": 3.0, "registry": 2.0},
+            motifs=(SERVICE_KILL,),
+            motif_probability=0.35,
+        ),
+        _key_setup_phase(60),
+        _enumeration_phase(190),
+        _encryption_phase(1250),
+        _note_phase(80),
+        _propagation_phase(340),
+    ),
+    description="Drive-by dropper; disk-level encryption, SMB spread.",
+)
+
+#: Public alias used by the benign profiles: an encrypt-and-replace bulk
+#: file job (what an encrypting backup/archive pass does) is generated by
+#: the *same* phase as ransomware encryption, making those benign windows
+#: genuinely indistinguishable — the controlled source of the detector's
+#: residual false positives.
+encryption_phase = _encryption_phase
+
+#: All Table II families, in the table's order.
+ALL_FAMILIES = (
+    RYUK, LOCKBIT, TESLACRYPT, VIRLOCK, CRYPTOWALL,
+    CERBER, WANNACRY, LOCKY, CHIMERA, BADRABBIT,
+)
+
+#: Total variants: the paper's prose says 78 but its Table II rows sum to 76;
+#: we reproduce the table.
+TOTAL_VARIANTS = sum(family.variant_count for family in ALL_FAMILIES)
+
+
+def table_ii() -> list:
+    """The rows of Table II: (family, instances, encryption, propagation)."""
+    return [
+        (family.name, family.variant_count, family.encrypts, family.self_propagates)
+        for family in ALL_FAMILIES
+    ]

@@ -1,0 +1,167 @@
+"""Tests for the statistics helpers and CPU/GPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.comparison import format_table, hardware_comparison
+from repro.baselines.cpu import (
+    CalibratedLatencyModel,
+    CpuInferenceBaseline,
+    PAPER_CPU_MEAN_US,
+    PAPER_CPU_SIGMA_US,
+)
+from repro.baselines.gpu import GpuCostModel, GpuInferenceBaseline, PAPER_GPU_MEAN_US
+from repro.baselines.statistics import (
+    _normal_quantile,
+    mean_confidence_interval,
+    normal_interval,
+)
+from repro.core.engine import engine_at_level
+from repro.core.config import OptimizationLevel
+from repro.core.weights import HostWeights
+from repro.nn.model import SequenceClassifier
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SequenceClassifier(seed=6)
+
+
+@pytest.fixture(scope="module")
+def weights(model):
+    return HostWeights.from_model(model)
+
+
+class TestStatistics:
+    def test_normal_quantile_known_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_normal_quantile_tails(self):
+        assert _normal_quantile(1e-6) < -4.0
+        assert _normal_quantile(1 - 1e-6) > 4.0
+
+    def test_normal_quantile_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+    def test_normal_interval_reproduces_paper_convention(self):
+        # Synthetic normal samples with the paper's CPU parameters must
+        # recover an interval close to Table I's.
+        rng = np.random.default_rng(0)
+        samples = rng.normal(PAPER_CPU_MEAN_US, PAPER_CPU_SIGMA_US, size=100_000)
+        summary = normal_interval(samples)
+        assert summary.ci_low_us == pytest.approx(217.5, rel=0.05)
+        assert summary.ci_high_us == pytest.approx(1765.7, rel=0.05)
+
+    def test_interval_symmetric(self):
+        summary = normal_interval([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean_us - summary.ci_low_us == pytest.approx(
+            summary.ci_high_us - summary.mean_us
+        )
+
+    def test_mean_ci_narrower_than_sample_interval(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(100, 10, size=400)
+        sample_interval = normal_interval(samples)
+        mean_interval = mean_confidence_interval(samples)
+        assert (mean_interval.ci_high_us - mean_interval.ci_low_us) < (
+            sample_interval.ci_high_us - sample_interval.ci_low_us
+        )
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            normal_interval([1.0])
+
+    def test_summary_str(self):
+        text = str(normal_interval([1.0, 2.0]))
+        assert "95% CI" in text
+
+
+class TestCalibratedModel:
+    def test_sample_statistics(self):
+        model = CalibratedLatencyModel(mean_us=500.0, sigma_us=50.0)
+        samples = model.sample(np.random.default_rng(0), 50_000)
+        assert samples.mean() == pytest.approx(500.0, rel=0.02)
+        assert samples.std() == pytest.approx(50.0, rel=0.05)
+
+    def test_floor_enforced(self):
+        model = CalibratedLatencyModel(mean_us=10.0, sigma_us=100.0, floor_us=5.0)
+        samples = model.sample(np.random.default_rng(0), 10_000)
+        assert samples.min() >= 5.0
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            CalibratedLatencyModel(mean_us=1.0, sigma_us=1.0).sample(
+                np.random.default_rng(0), 0
+            )
+
+
+class TestCpuBaseline:
+    def test_functional_matches_model(self, model, weights, rng):
+        baseline = CpuInferenceBaseline(weights)
+        sequence = rng.integers(0, 278, size=30)
+        assert baseline.infer_sequence(sequence) == pytest.approx(
+            float(model.predict_proba(sequence[None, :])[0]), abs=1e-10
+        )
+
+    def test_sampled_latencies_near_paper(self, weights):
+        baseline = CpuInferenceBaseline(weights)
+        samples = baseline.sample_per_item_latencies(20_000)
+        assert samples.mean() == pytest.approx(PAPER_CPU_MEAN_US, rel=0.05)
+
+    def test_local_measurement_runs(self, weights):
+        baseline = CpuInferenceBaseline(weights)
+        samples = baseline.measure_local_per_item(trials=10, warmup=2)
+        assert samples.shape == (10,)
+        assert np.all(samples > 0)
+
+
+class TestGpuBaseline:
+    def test_cost_model_decomposition_sums_to_paper_mean(self):
+        assert GpuCostModel().deterministic_us == pytest.approx(PAPER_GPU_MEAN_US, rel=0.001)
+
+    def test_functional_matches_cpu(self, weights, rng):
+        cpu = CpuInferenceBaseline(weights)
+        gpu = GpuInferenceBaseline(weights)
+        sequence = rng.integers(0, 278, size=25)
+        assert gpu.infer_sequence(sequence) == cpu.infer_sequence(sequence)
+
+    def test_sampled_latencies_near_paper(self, weights):
+        gpu = GpuInferenceBaseline(weights)
+        samples = gpu.sample_per_item_latencies(20_000)
+        assert samples.mean() == pytest.approx(PAPER_GPU_MEAN_US, rel=0.05)
+
+    def test_gpu_faster_than_cpu_on_average(self, weights):
+        cpu = CpuInferenceBaseline(weights).sample_per_item_latencies(5000)
+        gpu = GpuInferenceBaseline(weights).sample_per_item_latencies(5000)
+        assert gpu.mean() < cpu.mean()
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, model, weights):
+        engine = engine_at_level(model, OptimizationLevel.FIXED_POINT, sequence_length=10)
+        return hardware_comparison(
+            engine,
+            CpuInferenceBaseline(weights),
+            GpuInferenceBaseline(weights),
+            trials=4000,
+        )
+
+    def test_fpga_row_has_no_ci(self, comparison):
+        assert comparison.fpga.ci_low_us is None
+
+    def test_fpga_fastest(self, comparison):
+        assert comparison.fpga.mean_us < comparison.gpu.mean_us < comparison.cpu.mean_us
+
+    def test_speedup_magnitude_matches_paper(self, comparison):
+        # Paper: 344.6x over the GPU; shape check allows calibration slack.
+        assert 250 < comparison.speedup_over_gpu < 450
+        assert comparison.speedup_over_cpu > comparison.speedup_over_gpu
+
+    def test_format_table_contains_rows(self, comparison):
+        text = format_table(comparison)
+        for token in ("FPGA", "CPU", "GPU", "N/A", "speedup"):
+            assert token in text

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Training fixtures are session-scoped and deliberately small: the goal is
+exercising every code path, not reproducing the paper's numbers (the
+benchmarks do that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.model import SequenceClassifier
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.ransomware.dataset import build_dataset
+
+#: Shorter than the paper's 100 to keep per-test inference cheap, but
+#: long enough that windows carry usable temporal signal.
+TEST_SEQUENCE_LENGTH = 60
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but class-balanced synthetic dataset (shared, read-only)."""
+    return build_dataset(scale=0.04, sequence_length=TEST_SEQUENCE_LENGTH, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return tiny_dataset.train_test_split(test_fraction=0.25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_model(tiny_split):
+    """A classifier trained well enough to be clearly better than chance."""
+    train, test = tiny_split
+    model = SequenceClassifier(seed=0)
+    trainer = Trainer(
+        model,
+        TrainingConfig(epochs=10, batch_size=32, learning_rate=0.005, eval_every=5,
+                       restore_best_weights=True),
+    )
+    trainer.fit(train.sequences, train.labels, test.sequences, test.labels)
+    return model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,122 @@
+"""Tests for engine configuration and host weight preparation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig, GATE_NAMES, ModelDimensions, OptimizationLevel
+from repro.core.weights import HostWeights
+from repro.fixedpoint.qformat import PAPER_QFORMAT
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import dump_weights
+
+
+class TestOptimizationLevel:
+    def test_cumulative_ordering(self):
+        assert OptimizationLevel.VANILLA < OptimizationLevel.II_OPTIMIZED
+        assert OptimizationLevel.II_OPTIMIZED < OptimizationLevel.FIXED_POINT
+
+    def test_vanilla_uses_nothing(self):
+        assert not OptimizationLevel.VANILLA.uses_ii_pragmas
+        assert not OptimizationLevel.VANILLA.uses_fixed_point
+
+    def test_ii_adds_pragmas_only(self):
+        assert OptimizationLevel.II_OPTIMIZED.uses_ii_pragmas
+        assert not OptimizationLevel.II_OPTIMIZED.uses_fixed_point
+
+    def test_fixed_point_includes_ii(self):
+        assert OptimizationLevel.FIXED_POINT.uses_ii_pragmas
+        assert OptimizationLevel.FIXED_POINT.uses_fixed_point
+
+
+class TestModelDimensions:
+    def test_paper_defaults(self):
+        dims = ModelDimensions()
+        assert dims.vocab_size == 278
+        assert dims.embedding_parameters == 2224
+        assert dims.lstm_parameters == 5248
+        assert dims.head_parameters == 33
+        assert dims.total_parameters == 7505
+        assert dims.gate_input_size == 40
+        assert dims.sequence_length == 100
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ModelDimensions(vocab_size=0)
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        config = EngineConfig()
+        assert config.num_gate_cus == 4
+        assert config.ddr_banks == 2
+        assert config.preemptive_preprocess
+        assert config.optimization is OptimizationLevel.FIXED_POINT
+        assert config.qformat.scale == PAPER_QFORMAT.scale
+
+    def test_gates_per_cu(self):
+        assert EngineConfig(num_gate_cus=4).gates_per_cu == 1
+        assert EngineConfig(num_gate_cus=2).gates_per_cu == 2
+        assert EngineConfig(num_gate_cus=1).gates_per_cu == 4
+
+    def test_rejects_three_cus(self):
+        with pytest.raises(ValueError):
+            EngineConfig(num_gate_cus=3)
+
+
+@pytest.fixture
+def small_model():
+    return SequenceClassifier(vocab_size=9, embedding_dim=3, hidden_size=5, seed=2)
+
+
+class TestHostWeights:
+    def test_from_model_shapes(self, small_model):
+        weights = HostWeights.from_model(small_model)
+        assert weights.embedding.shape == (9, 3)
+        assert set(weights.gates) == set(GATE_NAMES)
+        for gate in weights.gates.values():
+            assert gate.matrix.shape == (5, 8)
+            assert gate.bias.shape == (5,)
+        assert weights.fc_weights.shape == (5,)
+
+    def test_dimensions_inferred(self, small_model):
+        dims = HostWeights.from_model(small_model).dimensions
+        assert (dims.vocab_size, dims.embedding_dim, dims.hidden_size) == (9, 3, 5)
+
+    def test_gate_matrix_matches_keras_layout(self, small_model, rng):
+        """W_g @ [h, x] + b_g must equal the Keras-layout pre-activation."""
+        weights = HostWeights.from_model(small_model)
+        lstm = small_model.lstm
+        h = rng.standard_normal(5)
+        x = rng.standard_normal(3)
+        packed = x @ lstm.W_x + h @ lstm.W_h + lstm.b
+        keras_slabs = {"i": packed[0:5], "f": packed[5:10], "c": packed[10:15], "o": packed[15:20]}
+        concatenated = np.concatenate([h, x])
+        for name, gate in weights.gates.items():
+            np.testing.assert_allclose(
+                gate.matrix @ concatenated + gate.bias, keras_slabs[name], atol=1e-12
+            )
+
+    def test_from_file_matches_from_model(self, small_model):
+        via_file = HostWeights.from_file(dump_weights(small_model))
+        via_model = HostWeights.from_model(small_model)
+        np.testing.assert_array_equal(via_file.embedding, via_model.embedding)
+        for name in GATE_NAMES:
+            np.testing.assert_array_equal(
+                via_file.gates[name].matrix, via_model.gates[name].matrix
+            )
+
+    def test_total_bytes(self, small_model):
+        weights = HostWeights.from_model(small_model)
+        values = 9 * 3 + 4 * (5 * 8 + 5) + 5 + 1
+        assert weights.total_bytes(bytes_per_value=4) == values * 4
+
+    def test_quantized_round_trip_close(self, small_model):
+        weights = HostWeights.from_model(small_model)
+        quantized = weights.quantized(PAPER_QFORMAT)
+        recovered = PAPER_QFORMAT.dequantize(quantized.gates["i"].matrix)
+        np.testing.assert_allclose(recovered, weights.gates["i"].matrix, atol=1e-6)
+
+    def test_quantized_dtype(self, small_model):
+        quantized = HostWeights.from_model(small_model).quantized(PAPER_QFORMAT)
+        assert quantized.embedding.dtype == np.int64
+        assert isinstance(quantized.fc_bias, int)

@@ -1,0 +1,222 @@
+"""Tests for the CSD inference engine and the Fig. 3 timing sweep."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig, ModelDimensions, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine, engine_at_level
+from repro.core.timing import kernel_breakdown, optimization_sweep
+from repro.core.weights import HostWeights
+from repro.hw.fpga import KU15P, ResourceExhausted
+from repro.hw.smartssd import SmartSSD
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import dump_weights
+
+SEQ_LEN = 12
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SequenceClassifier(seed=4)
+
+
+@pytest.fixture(scope="module")
+def weights(model):
+    return HostWeights.from_model(model)
+
+
+def small_engine(model, level=OptimizationLevel.FIXED_POINT, **overrides):
+    return engine_at_level(model, level, sequence_length=SEQ_LEN, **overrides)
+
+
+class TestConstruction:
+    def test_from_model(self, model):
+        engine = CSDInferenceEngine.from_model(model, sequence_length=SEQ_LEN)
+        assert engine.config.dimensions.vocab_size == 278
+
+    def test_from_weight_file(self, model, tmp_path):
+        path = tmp_path / "weights.txt"
+        dump_weights(model, path)
+        engine = CSDInferenceEngine.from_weight_file(str(path), sequence_length=SEQ_LEN)
+        rng = np.random.default_rng(0)
+        sequence = rng.integers(0, 278, size=SEQ_LEN)
+        direct = CSDInferenceEngine.from_model(model, sequence_length=SEQ_LEN)
+        assert engine.infer_sequence(sequence).probability == pytest.approx(
+            direct.infer_sequence(sequence).probability
+        )
+
+    def test_sequence_length_and_config_mutually_exclusive(self, model):
+        with pytest.raises(ValueError):
+            CSDInferenceEngine.from_model(model, config=EngineConfig(), sequence_length=5)
+
+    def test_config_dimension_mismatch_rejected(self, model):
+        bad = EngineConfig(dimensions=ModelDimensions(vocab_size=10, embedding_dim=8, hidden_size=32))
+        with pytest.raises(ValueError):
+            CSDInferenceEngine.from_model(model, config=bad)
+
+    def test_unloaded_engine_refuses_inference(self):
+        engine = CSDInferenceEngine.build_unloaded(EngineConfig())
+        with pytest.raises(RuntimeError):
+            engine.infer_sequence(np.zeros(100, dtype=int))
+
+    def test_fixed_point_four_cus_exceed_ku15p(self, weights):
+        # 4 spatially-unrolled CUs need ~5120 DSPs; the KU15P has 1968.
+        # The paper evaluated on the u200 for exactly this kind of headroom.
+        config = EngineConfig(
+            dimensions=dataclasses.replace(weights.dimensions, sequence_length=SEQ_LEN),
+            fpga_part=KU15P,
+            ddr_banks=1,
+        )
+        with pytest.raises(ResourceExhausted):
+            CSDInferenceEngine(config, weights)
+
+    def test_float_fits_on_ku15p(self, weights):
+        config = EngineConfig(
+            dimensions=dataclasses.replace(weights.dimensions, sequence_length=SEQ_LEN),
+            optimization=OptimizationLevel.VANILLA,
+            fpga_part=KU15P,
+            ddr_banks=1,
+        )
+        engine = CSDInferenceEngine(config, weights)
+        assert engine.device.used.dsp_slices <= KU15P.dsp_slices
+
+
+class TestInference:
+    def test_matches_offline_model_float(self, model, rng):
+        engine = small_engine(model, OptimizationLevel.VANILLA)
+        sequences = rng.integers(0, 278, size=(4, SEQ_LEN))
+        np.testing.assert_allclose(
+            engine.predict_proba(sequences), model.predict_proba(sequences), atol=1e-12
+        )
+
+    def test_fixed_point_close_to_float(self, model, rng):
+        engine = small_engine(model, OptimizationLevel.FIXED_POINT)
+        sequences = rng.integers(0, 278, size=(4, SEQ_LEN))
+        np.testing.assert_allclose(
+            engine.predict_proba(sequences), model.predict_proba(sequences), atol=0.02
+        )
+
+    def test_rejects_wrong_length(self, model):
+        engine = small_engine(model)
+        with pytest.raises(ValueError):
+            engine.infer_sequence(np.zeros(SEQ_LEN + 1, dtype=int))
+
+    def test_sequences_processed_counter(self, model, rng):
+        engine = small_engine(model)
+        engine.predict_proba(rng.integers(0, 278, size=(3, SEQ_LEN)))
+        assert engine.sequences_processed == 3
+
+    def test_predict_thresholds(self, model, rng):
+        engine = small_engine(model)
+        sequences = rng.integers(0, 278, size=(4, SEQ_LEN))
+        probs = engine.predict_proba(sequences)
+        np.testing.assert_array_equal(
+            engine.predict(sequences, threshold=0.5), (probs >= 0.5).astype(int)
+        )
+
+    def test_inference_deterministic(self, model, rng):
+        engine = small_engine(model)
+        sequence = rng.integers(0, 278, size=SEQ_LEN)
+        assert (
+            engine.infer_sequence(sequence).probability
+            == engine.infer_sequence(sequence).probability
+        )
+
+    def test_storage_path(self, model, rng):
+        engine = small_engine(model)
+        device = SmartSSD()
+        engine.attach_storage(device)
+        sequence = rng.integers(0, 278, size=SEQ_LEN)
+        device.ssd.write_object("seq", sequence.nbytes)
+        result, transfer_seconds = engine.infer_from_storage("seq", sequence)
+        assert transfer_seconds > 0
+        assert 0.0 <= result.probability <= 1.0
+
+    def test_storage_requires_attachment(self, model, rng):
+        engine = small_engine(model)
+        with pytest.raises(RuntimeError):
+            engine.infer_from_storage("seq", rng.integers(0, 278, size=SEQ_LEN))
+
+    def test_storage_missing_key_raises(self, model, rng):
+        engine = small_engine(model)
+        engine.attach_storage(SmartSSD())
+        with pytest.raises(KeyError):
+            engine.infer_from_storage("absent", rng.integers(0, 278, size=SEQ_LEN))
+
+    def test_rejects_out_of_vocabulary_token(self, model):
+        engine = small_engine(model)
+        bad = np.zeros(SEQ_LEN, dtype=int)
+        bad[3] = 278  # vocab is [0, 278)
+        with pytest.raises(ValueError):
+            engine.infer_sequence(bad)
+
+
+class TestTimingReports:
+    def test_timing_attached_to_result(self, model, rng):
+        engine = small_engine(model)
+        result = engine.infer_sequence(rng.integers(0, 278, size=SEQ_LEN))
+        timing = result.timing
+        assert timing.per_item_cycles > 0
+        assert timing.sequence_cycles > 0
+        assert len(timing.per_item_reports) == 3
+
+    def test_preemptive_pipeline_faster(self, model):
+        fast = small_engine(model, preemptive_preprocess=True)
+        slow = small_engine(model, preemptive_preprocess=False)
+        rng = np.random.default_rng(0)
+        sequence = rng.integers(0, 278, size=SEQ_LEN)
+        fast_cycles = fast.infer_sequence(sequence).timing.sequence_cycles
+        slow_cycles = slow.infer_sequence(sequence).timing.sequence_cycles
+        assert fast_cycles < slow_cycles
+
+    def test_per_item_microseconds_positive(self, model):
+        for level in OptimizationLevel:
+            assert small_engine(model, level).per_item_microseconds() > 0
+
+    def test_statistics_counters(self, model, rng):
+        engine = small_engine(model)
+        engine.predict_proba(rng.integers(0, 278, size=(2, SEQ_LEN)))
+        stats = engine.statistics()
+        assert stats["sequences_processed"] == 2
+        assert stats["items_processed"] == 2 * SEQ_LEN
+        assert stats["ddr_bytes_allocated"] > 0
+        assert 0.0 < stats["dsp_utilization"] <= 1.0
+        assert stats["optimization"] == "FIXED_POINT"
+
+
+#: Fig. 3 values from the paper, microseconds per kernel.
+PAPER_FIG3 = {
+    "VANILLA": {"preprocess": 0.8, "gates": 1.277, "hidden_state": 5.076, "total": 7.153},
+    "II_OPTIMIZED": {"preprocess": 0.743, "gates": 1.651, "hidden_state": 2.001, "total": 4.395},
+    "FIXED_POINT": {"preprocess": 0.74, "gates": 0.00333, "hidden_state": 1.408, "total": 2.15133},
+}
+
+
+class TestFig3Calibration:
+    """The simulator must land near the paper's Fig. 3 operating point."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return optimization_sweep()
+
+    @pytest.mark.parametrize("level", list(PAPER_FIG3))
+    def test_within_fifteen_percent(self, sweep, level):
+        for kernel, paper_value in PAPER_FIG3[level].items():
+            simulated = sweep[level][kernel]
+            assert simulated == pytest.approx(paper_value, rel=0.15), (level, kernel)
+
+    def test_total_speedup_matches_paper_shape(self, sweep):
+        # 7.153 us -> 2.151 us is a 3.3x improvement.
+        ratio = sweep["VANILLA"]["total"] / sweep["FIXED_POINT"]["total"]
+        assert 2.8 < ratio < 3.9
+
+    def test_breakdown_keys(self):
+        report = kernel_breakdown(EngineConfig())
+        assert set(report) == {"preprocess", "gates", "hidden_state", "total"}
+
+    def test_total_is_sum(self, sweep):
+        for level_values in sweep.values():
+            parts = [v for k, v in level_values.items() if k != "total"]
+            assert level_values["total"] == pytest.approx(sum(parts))

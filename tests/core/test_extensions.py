@@ -1,0 +1,115 @@
+"""Tests for the streaming and mixed-precision extension modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.core.mixed_precision import (
+    MixedPrecisionLstm,
+    MixedPrecisionPolicy,
+    evaluate_policy,
+)
+from repro.core.streaming import STREAM_FIFO_LATENCY_CYCLES, streaming_report
+from repro.core.weights import HostWeights
+from repro.fixedpoint.qformat import PAPER_QFORMAT, QFormat
+from repro.nn.model import SequenceClassifier
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SequenceClassifier(vocab_size=30, embedding_dim=4, hidden_size=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def weights(model):
+    return HostWeights.from_model(model)
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_streaming_always_helps(self, level):
+        engine = CSDInferenceEngine.build_unloaded(EngineConfig(optimization=level))
+        report = streaming_report(engine)
+        assert report.item_speedup > 1.0
+        assert report.sequence_speedup > 1.0
+
+    def test_streaming_speedup_is_modest(self):
+        # "additional acceleration", not another order of magnitude.
+        engine = CSDInferenceEngine.build_unloaded(EngineConfig())
+        report = streaming_report(engine)
+        assert report.item_speedup < 2.0
+
+    def test_streamed_cycles_positive(self):
+        engine = CSDInferenceEngine.build_unloaded(EngineConfig())
+        report = streaming_report(engine)
+        assert report.streamed_item_cycles > 0
+        assert report.streamed_item_microseconds > 0
+
+    def test_fifo_latency_small(self):
+        assert STREAM_FIFO_LATENCY_CYCLES < 10
+
+
+class TestMixedPrecisionPolicy:
+    def test_rescale_identity_when_same_scale(self):
+        policy = MixedPrecisionPolicy(PAPER_QFORMAT, PAPER_QFORMAT)
+        value = np.array([123456], dtype=np.int64)
+        assert policy.rescale(value, PAPER_QFORMAT, PAPER_QFORMAT) is value
+
+    def test_rescale_down_and_up(self):
+        high = QFormat(10**6)
+        low = QFormat(10**3)
+        policy = MixedPrecisionPolicy(low, high)
+        quantised = high.quantize(0.123456)
+        down = policy.rescale(quantised, high, low)
+        assert down == low.quantize(0.123)  # resolution truncates
+        back = policy.rescale(down, low, high)
+        assert abs(back - quantised) <= 10**3  # one low-format ULP
+
+    def test_rescale_scalar_returns_int(self):
+        policy = MixedPrecisionPolicy(QFormat(100), QFormat(1000))
+        assert isinstance(policy.rescale(50, QFormat(100), QFormat(1000)), int)
+
+
+class TestMixedPrecisionLstm:
+    def test_uniform_high_policy_close_to_float(self, model, weights, rng):
+        policy = MixedPrecisionPolicy(PAPER_QFORMAT, PAPER_QFORMAT)
+        lstm = MixedPrecisionLstm(weights, policy)
+        sequence = rng.integers(0, 30, size=20)
+        float_prob = float(model.predict_proba(sequence[None, :])[0])
+        assert lstm.infer_sequence(sequence) == pytest.approx(float_prob, abs=0.05)
+
+    def test_coarse_gates_keep_decisions(self, model, weights, rng):
+        sequences = rng.integers(0, 30, size=(8, 20))
+        reference = model.predict_proba(sequences)
+        policy = MixedPrecisionPolicy(QFormat(10**3), QFormat(10**6))
+        evaluation = evaluate_policy(weights, policy, sequences, reference)
+        assert evaluation.decision_agreement >= 0.75
+        assert evaluation.relative_dsp_cost < 1.0
+
+    def test_very_coarse_state_degrades_more_than_coarse_gates(
+        self, model, weights, rng
+    ):
+        sequences = rng.integers(0, 30, size=(8, 20))
+        reference = model.predict_proba(sequences)
+        coarse_gates = evaluate_policy(
+            weights,
+            MixedPrecisionPolicy(QFormat(10**2), QFormat(10**6)),
+            sequences, reference,
+        )
+        coarse_state = evaluate_policy(
+            weights,
+            MixedPrecisionPolicy(QFormat(10**6), QFormat(10**2)),
+            sequences, reference,
+        )
+        # The cell state integrates error over time; the gates saturate it.
+        assert coarse_state.mean_probability_error >= coarse_gates.mean_probability_error
+
+    def test_evaluate_policy_validates_lengths(self, weights, rng):
+        with pytest.raises(ValueError):
+            evaluate_policy(
+                weights,
+                MixedPrecisionPolicy(PAPER_QFORMAT, PAPER_QFORMAT),
+                rng.integers(0, 30, size=(3, 10)),
+                np.zeros(2),
+            )

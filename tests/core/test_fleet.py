@@ -1,0 +1,115 @@
+"""Tests for multi-CSD fleet planning."""
+
+import pytest
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.core.fleet import FleetPlanner, MonitoredStream
+from repro.core.throughput import throughput_report
+
+
+@pytest.fixture(scope="module")
+def device_report():
+    engine = CSDInferenceEngine.build_unloaded(
+        EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+    )
+    return throughput_report(engine)
+
+
+def stream(name, calls_per_second, stride=10):
+    return MonitoredStream(name, calls_per_second, stride)
+
+
+class TestMonitoredStream:
+    def test_window_rate(self):
+        assert stream("h", 2000, stride=10).windows_per_second == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream("h", 0)
+        with pytest.raises(ValueError):
+            stream("h", 100, stride=0)
+
+
+class TestPlanning:
+    def test_small_fleet_fits_one_device(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream(f"host{i}", 2000) for i in range(5)])
+        assert plan.devices_needed == 1
+        assert plan.peak_utilization < planner.headroom + 1e-9
+
+    def test_large_fleet_needs_multiple_devices(self, device_report):
+        planner = FleetPlanner(device_report)
+        # ~4,400 windows/s per device at 0.8 headroom -> ~3,530 usable;
+        # 40 hosts x 200 windows/s = 8,000 -> at least 3 devices.
+        plan = planner.plan([stream(f"host{i}", 2000) for i in range(40)])
+        assert plan.devices_needed >= 3
+        total = sum(len(a.streams) for a in plan.assignments)
+        assert total == 40
+
+    def test_every_stream_assigned_exactly_once(self, device_report):
+        planner = FleetPlanner(device_report)
+        streams = [stream(f"host{i}", 500 + 100 * i) for i in range(20)]
+        plan = planner.plan(streams)
+        placed = [s.name for a in plan.assignments for s in a.streams]
+        assert sorted(placed) == sorted(s.name for s in streams)
+        for s in streams:
+            plan.device_of(s.name)  # does not raise
+
+    def test_no_device_over_headroom(self, device_report):
+        planner = FleetPlanner(device_report, headroom=0.7)
+        plan = planner.plan([stream(f"host{i}", 3000) for i in range(25)])
+        for assignment in plan.assignments:
+            assert assignment.utilization <= 0.7 + 1e-9
+
+    def test_unsplittable_stream_rejected(self, device_report):
+        planner = FleetPlanner(device_report)
+        huge = stream("firehose", 10_000_000, stride=1)
+        with pytest.raises(ValueError, match="lower its stride"):
+            planner.plan([huge])
+
+    def test_unknown_stream_lookup(self, device_report):
+        plan = FleetPlanner(device_report).plan([stream("a", 100)])
+        with pytest.raises(KeyError):
+            plan.device_of("nope")
+
+    def test_headroom_validation(self, device_report):
+        with pytest.raises(ValueError):
+            FleetPlanner(device_report, headroom=0.0)
+
+
+class TestFailureRebalance:
+    def test_orphans_reassigned(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream(f"host{i}", 2000) for i in range(40)])
+        failed = plan.assignments[0].device_index
+        rebalanced = planner.rebalance_after_failure(plan, failed)
+        placed = [s.name for a in rebalanced.assignments for s in a.streams]
+        assert sorted(placed) == sorted(f"host{i}" for i in range(40))
+        assert all(a.device_index != failed for a in rebalanced.assignments)
+
+    def test_rebalance_respects_headroom(self, device_report):
+        planner = FleetPlanner(device_report, headroom=0.75)
+        plan = planner.plan([stream(f"host{i}", 2500) for i in range(30)])
+        rebalanced = planner.rebalance_after_failure(
+            plan, plan.assignments[0].device_index
+        )
+        for assignment in rebalanced.assignments:
+            assert assignment.utilization <= 0.75 + 1e-9
+
+    def test_survivors_keep_streams(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream(f"host{i}", 2000) for i in range(40)])
+        survivor = plan.assignments[1]
+        before = {s.name for s in survivor.streams}
+        rebalanced = planner.rebalance_after_failure(plan, plan.assignments[0].device_index)
+        after_assignment = next(
+            a for a in rebalanced.assignments if a.device_index == survivor.device_index
+        )
+        assert before <= {s.name for s in after_assignment.streams}
+
+    def test_unknown_device_raises(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream("a", 100)])
+        with pytest.raises(KeyError):
+            planner.rebalance_after_failure(plan, failed_device=99)

@@ -1,0 +1,126 @@
+"""Tests of the timing model's structural behaviour.
+
+Calibration pins the paper's operating point (see
+TestFig3Calibration); these tests pin the *structure*: how the model
+scales when dimensions, CU counts, or optimisation levels change — the
+part that makes the ablations meaningful rather than hard-coded.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import EngineConfig, ModelDimensions, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.core.timing import (
+    InferenceTiming,
+    build_inference_timing,
+    kernel_breakdown,
+    stage_timing_from_kernels,
+)
+from repro.hw.clock import ClockDomain
+
+
+def breakdown(level=OptimizationLevel.VANILLA, **dims):
+    config = EngineConfig(
+        dimensions=ModelDimensions(**dims), optimization=level
+    )
+    return kernel_breakdown(config)
+
+
+class TestDimensionScaling:
+    def test_hidden_size_grows_gates_and_hidden(self):
+        small = breakdown(hidden_size=16)
+        large = breakdown(hidden_size=128)
+        assert large["gates"] > small["gates"]
+        assert large["hidden_state"] > small["hidden_state"]
+
+    def test_hidden_size_does_not_affect_preprocess_fetch(self):
+        # Preprocess fetches one embedding row; its cost tracks the
+        # embedding dim and CU count, not the hidden size.
+        small = breakdown(hidden_size=16)
+        large = breakdown(hidden_size=128)
+        assert large["preprocess"] == small["preprocess"]
+
+    def test_embedding_dim_grows_preprocess(self):
+        small = breakdown(embedding_dim=4)
+        large = breakdown(embedding_dim=64)
+        assert large["preprocess"] > small["preprocess"]
+
+    def test_vocab_size_is_timing_irrelevant(self):
+        # A row lookup costs the same whatever the table height.
+        small = breakdown(vocab_size=64)
+        large = breakdown(vocab_size=4096)
+        assert small == large
+
+    def test_sequence_length_is_per_item_irrelevant(self):
+        # Fig. 3 reports per-item times; length matters to the sequence
+        # schedule only.
+        assert breakdown(sequence_length=50) == breakdown(sequence_length=500)
+
+    def test_optimization_strictly_improves_totals(self):
+        totals = [
+            breakdown(level=level)["total"] for level in OptimizationLevel
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+
+class TestInferenceTimingViews:
+    @pytest.fixture
+    def timing(self) -> InferenceTiming:
+        config = EngineConfig()
+        engine = CSDInferenceEngine.build_unloaded(config)
+        return build_inference_timing(
+            config,
+            engine.preprocess.timing(),
+            engine.gates.timing(),
+            engine.hidden_state.timing(),
+            engine.hidden_state.classification_cycles(),
+            engine.device.clock,
+        )
+
+    def test_per_item_is_sum_of_reports(self, timing):
+        assert timing.per_item_cycles == sum(
+            report.cycles for report in timing.per_item_reports
+        )
+
+    def test_sequence_time_exceeds_single_item(self, timing):
+        assert timing.sequence_cycles > timing.per_item_cycles
+
+    def test_sequence_benefits_from_overlap(self, timing):
+        items = 100
+        assert timing.sequence_cycles < timing.per_item_cycles * items
+
+    def test_microsecond_views_consistent(self, timing):
+        clock = ClockDomain()
+        assert timing.per_item_microseconds == pytest.approx(
+            clock.cycles_to_microseconds(timing.per_item_cycles)
+        )
+        assert timing.sequence_microseconds > timing.per_item_microseconds
+
+    def test_report_labels(self, timing):
+        labels = [report.kernel for report in timing.per_item_reports]
+        assert labels == ["kernel_preprocess", "kernel_gates", "kernel_hidden_state"]
+
+
+class TestStageAssembly:
+    def test_stage_timing_reads_reported_cycles(self):
+        engine = CSDInferenceEngine.build_unloaded(EngineConfig())
+        stage = stage_timing_from_kernels(
+            engine.preprocess.timing(),
+            engine.gates.timing(),
+            engine.hidden_state.timing(),
+        )
+        assert stage.preprocess == engine.preprocess.timing().reported_cycles
+        assert stage.gates == engine.gates.timing().reported_cycles
+
+    def test_fixed_point_stage_gates_is_one_cycle(self):
+        engine = CSDInferenceEngine.build_unloaded(
+            EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+        )
+        stage = stage_timing_from_kernels(
+            engine.preprocess.timing(),
+            engine.gates.timing(),
+            engine.hidden_state.timing(),
+        )
+        assert stage.gates == 1

@@ -1,0 +1,107 @@
+"""Tests for fixed-point activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.activations import qsigmoid, qsoftsign, qtanh
+from repro.fixedpoint.qformat import PAPER_QFORMAT
+from repro.nn.activations import sigmoid, softsign
+
+FMT = PAPER_QFORMAT
+
+
+def q(value):
+    return FMT.quantize(value)
+
+
+def dq(value):
+    return FMT.dequantize(value)
+
+
+class TestSoftsign:
+    def test_zero_maps_to_zero(self):
+        assert qsoftsign(0, FMT) == 0
+
+    def test_matches_float_softsign(self):
+        xs = np.linspace(-8.0, 8.0, 201)
+        actual = dq(qsoftsign(q(xs), FMT))
+        expected = softsign(xs)
+        np.testing.assert_allclose(actual, expected, atol=2e-6)
+
+    def test_output_strictly_inside_unit_interval(self):
+        for x in (-1000.0, -3.0, -0.1, 0.1, 3.0, 1000.0):
+            value = qsoftsign(q(x), FMT)
+            assert abs(value) < FMT.scale
+
+    def test_odd_symmetry(self):
+        for x in (0.3, 1.7, 42.0):
+            assert qsoftsign(q(x), FMT) == -qsoftsign(q(-x), FMT)
+
+    def test_scalar_returns_int(self):
+        assert isinstance(qsoftsign(q(1.5), FMT), int)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_monotone_nondecreasing_property(self, x):
+        lower = qsoftsign(q(x), FMT)
+        upper = qsoftsign(q(x) + 1, FMT)
+        assert upper >= lower
+
+
+class TestSigmoid:
+    def test_zero_maps_to_half(self):
+        assert qsigmoid(0, FMT) == FMT.scale // 2
+
+    def test_saturates_high(self):
+        assert qsigmoid(q(10.0), FMT) == FMT.scale
+
+    def test_saturates_low(self):
+        assert qsigmoid(q(-10.0), FMT) == 0
+
+    def test_plan_error_bound(self):
+        # PLAN's documented max absolute error is 0.0189.
+        xs = np.linspace(-8.0, 8.0, 401)
+        actual = dq(qsigmoid(q(xs), FMT))
+        expected = sigmoid(xs)
+        assert np.max(np.abs(actual - expected)) < 0.0189 + 1e-4
+
+    def test_symmetry_around_half(self):
+        for x in (0.5, 1.3, 2.5, 4.0):
+            high = qsigmoid(q(x), FMT)
+            low = qsigmoid(q(-x), FMT)
+            assert high + low == FMT.scale
+
+    def test_output_in_unit_interval(self):
+        xs = q(np.linspace(-20, 20, 101))
+        values = qsigmoid(xs, FMT)
+        assert values.min() >= 0
+        assert values.max() <= FMT.scale
+
+    def test_nearly_monotone_over_grid(self):
+        # Canonical PLAN has a ~0.004 downward step at the |x| = 2.375
+        # segment boundary; anything larger would be a regression.
+        xs = q(np.linspace(-6, 6, 301))
+        values = qsigmoid(xs, FMT)
+        assert np.min(np.diff(values)) >= -0.004 * FMT.scale
+
+    def test_scalar_returns_int(self):
+        assert isinstance(qsigmoid(q(0.7), FMT), int)
+
+
+class TestTanh:
+    def test_zero_maps_to_zero(self):
+        assert qtanh(0, FMT) == 0
+
+    def test_approximates_float_tanh(self):
+        xs = np.linspace(-3.0, 3.0, 121)
+        actual = dq(qtanh(q(xs), FMT))
+        # Error is 2x the PLAN sigmoid bound.
+        assert np.max(np.abs(actual - np.tanh(xs))) < 0.04
+
+    def test_saturates(self):
+        assert qtanh(q(10.0), FMT) == FMT.scale
+        assert qtanh(q(-10.0), FMT) == -FMT.scale
+
+    def test_odd_symmetry(self):
+        for x in (0.4, 1.1, 2.2):
+            assert qtanh(q(x), FMT) == -qtanh(q(-x), FMT)

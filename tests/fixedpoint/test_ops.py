@@ -1,0 +1,145 @@
+"""Tests for fixed-point arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.ops import (
+    _rounded_scale_division,
+    qadd,
+    qaffine,
+    qdot,
+    qmatvec,
+    qmul,
+    qsub,
+)
+from repro.fixedpoint.qformat import PAPER_QFORMAT, QFormat
+
+FMT = PAPER_QFORMAT
+
+
+def q(value):
+    return FMT.quantize(value)
+
+
+def dq(value):
+    return FMT.dequantize(value)
+
+
+class TestRoundedDivision:
+    def test_positive_half_rounds_away(self):
+        assert _rounded_scale_division(15, 10) == 2
+        assert _rounded_scale_division(14, 10) == 1
+
+    def test_negative_half_rounds_away(self):
+        assert _rounded_scale_division(-15, 10) == -2
+        assert _rounded_scale_division(-14, 10) == -1
+
+    def test_scalar_returns_int(self):
+        assert isinstance(_rounded_scale_division(100, 10), int)
+
+    def test_array(self):
+        out = _rounded_scale_division(np.array([15, -15, 21]), 10)
+        assert out.tolist() == [2, -2, 2]
+
+    def test_symmetry(self):
+        for value in (7, 13, 15, 99, 101):
+            pos = _rounded_scale_division(value, 10)
+            neg = _rounded_scale_division(-value, 10)
+            assert pos == -neg
+
+
+class TestElementwise:
+    def test_add_preserves_scale(self):
+        assert dq(qadd(q(0.25), q(0.5))) == pytest.approx(0.75)
+
+    def test_sub_preserves_scale(self):
+        assert dq(qsub(q(0.25), q(0.5))) == pytest.approx(-0.25)
+
+    def test_mul_rescales(self):
+        assert dq(qmul(q(0.5), q(0.5), FMT)) == pytest.approx(0.25, abs=1e-6)
+
+    def test_mul_arrays(self):
+        a = q(np.array([0.5, -0.5, 2.0]))
+        b = q(np.array([0.5, 0.5, 0.25]))
+        np.testing.assert_allclose(dq(qmul(a, b, FMT)), [0.25, -0.25, 0.5], atol=1e-6)
+
+    def test_add_scalar_returns_int(self):
+        assert isinstance(qadd(q(0.1), q(0.2)), int)
+
+
+class TestMatvec:
+    def test_matches_float_matmul(self, rng):
+        matrix = rng.uniform(-1, 1, size=(8, 5))
+        vector = rng.uniform(-1, 1, size=5)
+        expected = matrix @ vector
+        actual = dq(qmatvec(q(matrix), q(vector), FMT))
+        np.testing.assert_allclose(actual, expected, atol=1e-5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            qmatvec(np.zeros((3, 4), dtype=np.int64), np.zeros(5, dtype=np.int64), FMT)
+
+    def test_rejects_non_2d_matrix(self):
+        with pytest.raises(ValueError):
+            qmatvec(np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.int64), FMT)
+
+    def test_rejects_non_1d_vector(self):
+        with pytest.raises(ValueError):
+            qmatvec(np.zeros((3, 3), dtype=np.int64), np.zeros((3, 1), dtype=np.int64), FMT)
+
+    def test_wide_accumulation_beats_per_product_rescale(self, rng):
+        # Summing many small products: accumulating wide then rescaling
+        # once must not lose the sub-resolution mass.
+        count = 1000
+        values = np.full(count, 0.0004)  # each product 1.6e-7 < resolution
+        matrix = q(values.reshape(1, count))
+        vector = q(np.full(count, 0.0004))
+        result = dq(qmatvec(matrix, vector, FMT))[0]
+        assert result == pytest.approx(count * 0.0004 * 0.0004, rel=0.01)
+
+
+class TestDotAndAffine:
+    def test_dot_matches_float(self, rng):
+        a = rng.uniform(-1, 1, size=16)
+        b = rng.uniform(-1, 1, size=16)
+        assert dq(qdot(q(a), q(b), FMT)) == pytest.approx(a @ b, abs=1e-5)
+
+    def test_dot_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            qdot(np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64), FMT)
+
+    def test_affine_matches_float(self, rng):
+        matrix = rng.uniform(-1, 1, size=(6, 4))
+        vector = rng.uniform(-1, 1, size=4)
+        bias = rng.uniform(-1, 1, size=6)
+        expected = matrix @ vector + bias
+        actual = dq(qaffine(q(matrix), q(vector), q(bias), FMT))
+        np.testing.assert_allclose(actual, expected, atol=1e-5)
+
+
+class TestProperties:
+    values = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+    @given(values, values)
+    def test_mul_commutative(self, a, b):
+        assert qmul(q(a), q(b), FMT) == qmul(q(b), q(a), FMT)
+
+    @given(values, values)
+    def test_mul_error_bounded(self, a, b):
+        exact = a * b
+        approx = dq(qmul(q(a), q(b), FMT))
+        # Error sources: two input quantisations (each |x| * resolution/2)
+        # plus the output rounding (resolution/2).
+        bound = (abs(a) + abs(b) + 1.5) * FMT.resolution
+        assert abs(approx - exact) <= bound
+
+    @given(values)
+    def test_mul_by_one_is_identity(self, a):
+        assert qmul(q(a), FMT.scale, FMT) == q(a)
+
+    @given(values, values, values)
+    def test_add_associative(self, a, b, c):
+        left = qadd(qadd(q(a), q(b)), q(c))
+        right = qadd(q(a), qadd(q(b), q(c)))
+        assert left == right

@@ -1,0 +1,83 @@
+"""Tests for the fixed-point format descriptor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.qformat import PAPER_QFORMAT, PAPER_SCALE_FACTOR, QFormat
+
+
+class TestConstruction:
+    def test_paper_scale_is_ten_to_the_six(self):
+        assert PAPER_SCALE_FACTOR == 10**6
+        assert PAPER_QFORMAT.scale == 10**6
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            QFormat(scale=0)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            QFormat(scale=-5)
+
+    def test_rejects_float_scale(self):
+        with pytest.raises(TypeError):
+            QFormat(scale=1000.0)
+
+    def test_is_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_QFORMAT.scale = 10
+
+    def test_scale_squared(self):
+        assert QFormat(scale=1000).scale_squared == 10**6
+
+    def test_resolution(self):
+        assert QFormat(scale=100).resolution == pytest.approx(0.01)
+
+
+class TestQuantize:
+    def test_scalar_round_trip(self):
+        q = PAPER_QFORMAT
+        assert q.dequantize(q.quantize(0.5)) == pytest.approx(0.5)
+
+    def test_scalar_returns_python_int(self):
+        assert isinstance(PAPER_QFORMAT.quantize(0.25), int)
+
+    def test_rounds_to_nearest(self):
+        q = QFormat(scale=10)
+        assert q.quantize(0.26) == 3
+        assert q.quantize(0.24) == 2
+
+    def test_negative_values(self):
+        q = QFormat(scale=10)
+        assert q.quantize(-0.26) == -3
+
+    def test_array_dtype_is_int64(self):
+        out = PAPER_QFORMAT.quantize(np.array([0.1, -0.2, 0.3]))
+        assert out.dtype == np.int64
+
+    def test_array_round_trip_within_resolution(self):
+        q = PAPER_QFORMAT
+        values = np.linspace(-2.0, 2.0, 101)
+        error = np.abs(q.dequantize(q.quantize(values)) - values)
+        assert error.max() <= 0.5 / q.scale + 1e-15
+
+    def test_quantization_error_bound(self):
+        q = QFormat(scale=100)
+        assert q.quantization_error(np.array([0.123, 0.456])) <= 0.005 + 1e-12
+
+
+class TestProperties:
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_round_trip_error_bounded(self, value):
+        q = PAPER_QFORMAT
+        assert abs(q.dequantize(q.quantize(value)) - value) <= q.resolution
+
+    @given(
+        st.floats(min_value=-50.0, max_value=50.0),
+        st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_quantize_is_monotone(self, a, b):
+        q = PAPER_QFORMAT
+        if a <= b:
+            assert q.quantize(a) <= q.quantize(b)

@@ -1,0 +1,237 @@
+"""Tests for clock domains and the HLS loop latency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.clock import DEFAULT_KERNEL_CLOCK_HZ, ClockDomain
+from repro.hw.hls import (
+    FIXED_OPS,
+    FLOAT_OPS,
+    HlsLoop,
+    LOOP_OVERHEAD_CYCLES,
+    LoopNest,
+    OpLatency,
+    PragmaSet,
+    op_table,
+)
+
+
+class TestClockDomain:
+    def test_default_is_300mhz(self):
+        assert DEFAULT_KERNEL_CLOCK_HZ == 300_000_000
+
+    def test_one_cycle_at_300mhz_is_one_third_microsecond_scaled(self):
+        clock = ClockDomain()
+        assert clock.cycles_to_microseconds(1) == pytest.approx(0.003333, rel=1e-3)
+
+    def test_round_trip(self):
+        clock = ClockDomain(frequency_hz=100e6)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(42)) == 42
+
+    def test_seconds_to_cycles_rounds_up(self):
+        clock = ClockDomain(frequency_hz=100e6)
+        assert clock.seconds_to_cycles(1.01e-8) == 2
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain(frequency_hz=0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            ClockDomain().cycles_to_seconds(-1)
+
+
+class TestOpLatency:
+    def test_tables_have_core_ops(self):
+        for table in (FLOAT_OPS, FIXED_OPS):
+            assert {"add", "mul", "div"} <= set(table)
+
+    def test_fixed_add_is_single_cycle(self):
+        assert FIXED_OPS["add"].depth == 1
+
+    def test_float_ops_slower_than_fixed(self):
+        # The premise of the paper's fixed-point optimisation.
+        for op in ("add", "mul"):
+            assert FLOAT_OPS[op].depth > FIXED_OPS[op].depth
+
+    def test_op_table_dispatch(self):
+        assert op_table(fixed_point=True) is FIXED_OPS
+        assert op_table(fixed_point=False) is FLOAT_OPS
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            OpLatency(depth=-1)
+        with pytest.raises(ValueError):
+            OpLatency(depth=1, ii=0)
+
+
+class TestHlsLoop:
+    def test_unpipelined_latency(self):
+        loop = HlsLoop(name="l", trip_count=10, iteration_depth=5)
+        assert loop.latency_cycles == 10 * (5 + LOOP_OVERHEAD_CYCLES)
+
+    def test_pipelined_latency(self):
+        loop = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+        )
+        assert loop.latency_cycles == 5 + 1 * 9
+
+    def test_pipelining_never_hurts(self):
+        for trips in (1, 2, 16, 100):
+            plain = HlsLoop(name="l", trip_count=trips, iteration_depth=7)
+            piped = HlsLoop(
+                name="l", trip_count=trips, iteration_depth=7,
+                pragmas=PragmaSet(pipeline=True, target_ii=1),
+            )
+            assert piped.latency_cycles <= plain.latency_cycles
+
+    def test_carried_dependency_bounds_ii(self):
+        loop = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+            carried_dependency_ii=8,
+        )
+        assert loop.achieved_ii == 8
+
+    def test_memory_port_bound(self):
+        # 6 accesses over 2 BRAM ports -> II >= 3.
+        loop = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+            memory_accesses_per_iteration=6,
+        )
+        assert loop.achieved_ii == 3
+
+    def test_array_partition_removes_port_bound(self):
+        loop = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, array_partition=True),
+            memory_accesses_per_iteration=6,
+        )
+        assert loop.achieved_ii == 1
+
+    def test_unroll_reduces_trip_count(self):
+        loop = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, unroll=4, array_partition=True),
+            unroll_depth_penalty=0,
+        )
+        assert loop.effective_trip_count == 3
+
+    def test_unroll_raises_memory_demand(self):
+        loop = HlsLoop(
+            name="l", trip_count=16, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, unroll=4),
+            memory_accesses_per_iteration=2,
+        )
+        # 2 * 4 accesses over 2 ports -> II 4.
+        assert loop.achieved_ii == 4
+
+    def test_unroll_depth_penalty(self):
+        loop = HlsLoop(
+            name="l", trip_count=16, iteration_depth=10,
+            pragmas=PragmaSet(pipeline=True, unroll=4, array_partition=True),
+            unroll_depth_penalty=8,
+        )
+        assert loop.effective_depth == 10 + 8 * 2  # log2(4) = 2 levels
+
+    def test_zero_trip_count(self):
+        loop = HlsLoop(name="l", trip_count=0, iteration_depth=5)
+        assert loop.latency_cycles == 0
+
+    def test_steady_state_ii(self):
+        piped = HlsLoop(
+            name="l", trip_count=10, iteration_depth=5,
+            pragmas=PragmaSet(pipeline=True, target_ii=2),
+        )
+        assert piped.steady_state_ii == 2
+        plain = HlsLoop(name="l", trip_count=10, iteration_depth=5)
+        assert plain.steady_state_ii == 5 + LOOP_OVERHEAD_CYCLES
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            HlsLoop(name="l", trip_count=-1, iteration_depth=5)
+        with pytest.raises(ValueError):
+            HlsLoop(name="l", trip_count=1, iteration_depth=0)
+        with pytest.raises(ValueError):
+            PragmaSet(unroll=0)
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_pipelined_latency_formula_property(self, trips, depth, ii):
+        loop = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=ii),
+        )
+        assert loop.latency_cycles == depth + ii * (trips - 1)
+
+
+class TestDataflowRegion:
+    def test_latency_is_max_plus_channel(self):
+        from repro.hw.hls import DataflowRegion
+
+        region = DataflowRegion(
+            name="d",
+            loops=(
+                HlsLoop(name="a", trip_count=10, iteration_depth=5),   # 60
+                HlsLoop(name="b", trip_count=3, iteration_depth=4),    # 15
+            ),
+            channel_cycles=2,
+        )
+        assert region.latency_cycles == 60 + 2
+
+    def test_parallel_never_slower_than_any_member(self):
+        from repro.hw.hls import DataflowRegion
+
+        loops = tuple(
+            HlsLoop(name=f"l{i}", trip_count=i + 1, iteration_depth=7)
+            for i in range(4)
+        )
+        region = DataflowRegion(name="d", loops=loops, channel_cycles=0)
+        assert region.latency_cycles == max(l.latency_cycles for l in loops)
+
+    def test_region_composes_in_nest(self):
+        from repro.hw.hls import DataflowRegion
+
+        region = DataflowRegion(
+            name="d",
+            loops=(HlsLoop(name="a", trip_count=2, iteration_depth=3),),
+            channel_cycles=1,
+        )
+        tail = HlsLoop(name="t", trip_count=2, iteration_depth=3)
+        nest = LoopNest(name="k", loops=(region, tail), prologue_cycles=5)
+        assert nest.latency_cycles == 5 + region.latency_cycles + tail.latency_cycles
+        assert "d" in nest.breakdown()
+
+    def test_empty_region_rejected(self):
+        from repro.hw.hls import DataflowRegion
+
+        with pytest.raises(ValueError):
+            DataflowRegion(name="d", loops=())
+
+
+class TestLoopNest:
+    def test_sums_loops_and_prologue(self):
+        nest = LoopNest(
+            name="k",
+            loops=(
+                HlsLoop(name="a", trip_count=4, iteration_depth=3),
+                HlsLoop(name="b", trip_count=2, iteration_depth=5),
+            ),
+            prologue_cycles=10,
+        )
+        assert nest.latency_cycles == 10 + 4 * 4 + 2 * 6
+
+    def test_breakdown_keys(self):
+        nest = LoopNest(
+            name="k",
+            loops=(HlsLoop(name="a", trip_count=4, iteration_depth=3),),
+            prologue_cycles=7,
+        )
+        breakdown = nest.breakdown()
+        assert breakdown["prologue"] == 7
+        assert breakdown["a"] == 16

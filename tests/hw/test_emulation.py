@@ -1,0 +1,76 @@
+"""Tests for the Vitis-style emulation report renderers."""
+
+import pytest
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.engine import CSDInferenceEngine
+from repro.hw.emulation import (
+    loop_report,
+    render_engine_report,
+    render_loop_report,
+    render_utilization_report,
+)
+from repro.hw.hls import HlsLoop, LoopNest, PragmaSet
+
+
+@pytest.fixture
+def nest():
+    return LoopNest(
+        name="kernel_demo",
+        loops=(
+            HlsLoop(name="load", trip_count=16, iteration_depth=4,
+                    pragmas=PragmaSet(pipeline=True, target_ii=1)),
+            HlsLoop(name="compute", trip_count=32, iteration_depth=10),
+        ),
+        prologue_cycles=50,
+    )
+
+
+class TestLoopReport:
+    def test_rows_match_loops(self, nest):
+        rows = loop_report(nest)
+        assert [row.loop for row in rows] == ["load", "compute"]
+
+    def test_pipelined_loop_shows_ii(self, nest):
+        rows = loop_report(nest)
+        assert rows[0].achieved_ii == 1
+        assert rows[1].achieved_ii is None
+
+    def test_latency_matches_model(self, nest):
+        rows = loop_report(nest)
+        assert rows[0].latency_cycles == 4 + 15
+        assert rows[1].latency_cycles == 32 * 11
+
+    def test_render_contains_total(self, nest):
+        text = render_loop_report(nest)
+        assert "kernel_demo" in text
+        assert str(nest.latency_cycles) in text
+        assert "invocation overhead" in text
+
+
+class TestDeviceReports:
+    @pytest.fixture
+    def engine(self):
+        return CSDInferenceEngine.build_unloaded(
+            EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+        )
+
+    def test_utilization_report_lists_kernels(self, engine):
+        text = render_utilization_report(engine.device)
+        assert "kernel_preprocess" in text
+        assert "kernel_gates_0" in text
+        assert "kernel_gates_3" in text
+        assert "kernel_hidden_state" in text
+        assert "UTILISATION" in text
+
+    def test_engine_report_totals_match_breakdown(self, engine):
+        text = render_engine_report(engine)
+        assert "TOTAL (per item)" in text
+        # The per-item total equals the engine's own figure.
+        us = engine.per_item_microseconds()
+        assert f"{us:.5f}" in text
+
+    def test_engine_report_states_configuration(self, engine):
+        text = render_engine_report(engine)
+        assert "FIXED_POINT" in text
+        assert "4 gates CU(s)" in text

@@ -1,0 +1,139 @@
+"""Tests for FPGA resource accounting and dataflow scheduling."""
+
+import pytest
+
+from repro.hw.dataflow import (
+    StageTiming,
+    parallel_stage_cycles,
+    pipeline_speedup,
+    pipelined_schedule,
+    schedule,
+    serial_schedule,
+)
+from repro.hw.fpga import (
+    ALVEO_U200,
+    KU15P,
+    FpgaDevice,
+    ResourceExhausted,
+    ResourceRequest,
+)
+
+
+class TestParts:
+    def test_u200_larger_than_ku15p(self):
+        # The paper's experimental platform is the bigger sibling.
+        assert ALVEO_U200.dsp_slices > KU15P.dsp_slices
+        assert ALVEO_U200.luts > KU15P.luts
+
+    def test_u200_has_four_ddr_banks(self):
+        assert ALVEO_U200.ddr_banks == 4
+
+    def test_ku15p_dsp_count(self):
+        assert KU15P.dsp_slices == 1968
+
+
+class TestFpgaDevice:
+    def test_default_two_banks(self):
+        device = FpgaDevice()
+        assert len(device.ddr.banks) == 2
+
+    def test_rejects_more_banks_than_part_has(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(part=KU15P, ddr_banks_used=2)
+
+    def test_rejects_overclock(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(kernel_clock_hz=500e6)
+
+    def test_placement_accumulates(self):
+        device = FpgaDevice()
+        device.place_kernel("a", ResourceRequest(luts=1000, dsp_slices=10))
+        device.place_kernel("b", ResourceRequest(luts=2000, dsp_slices=20))
+        assert device.used.luts == 3000
+        assert device.used.dsp_slices == 30
+
+    def test_duplicate_placement_rejected(self):
+        device = FpgaDevice()
+        device.place_kernel("a", ResourceRequest(luts=1))
+        with pytest.raises(ValueError):
+            device.place_kernel("a", ResourceRequest(luts=1))
+
+    def test_dsp_exhaustion(self):
+        device = FpgaDevice(part=KU15P, ddr_banks_used=1)
+        device.place_kernel("big", ResourceRequest(dsp_slices=1900))
+        with pytest.raises(ResourceExhausted):
+            device.place_kernel("more", ResourceRequest(dsp_slices=100))
+
+    def test_failed_placement_charges_nothing(self):
+        device = FpgaDevice(part=KU15P, ddr_banks_used=1)
+        with pytest.raises(ResourceExhausted):
+            device.place_kernel("huge", ResourceRequest(luts=10**9))
+        assert device.used.luts == 0
+        assert "huge" not in device.placements
+
+    def test_utilization_fractions(self):
+        device = FpgaDevice()
+        device.place_kernel("half", ResourceRequest(dsp_slices=3420))
+        assert device.utilization()["dsp_slices"] == pytest.approx(0.5)
+
+    def test_reset(self):
+        device = FpgaDevice()
+        device.place_kernel("a", ResourceRequest(luts=10))
+        device.ddr.banks[0].allocate(100)
+        device.reset()
+        assert device.used.luts == 0
+        assert device.ddr.total_allocated() == 0
+
+    def test_rejects_negative_request(self):
+        with pytest.raises(ValueError):
+            ResourceRequest(luts=-1)
+
+
+class TestDataflow:
+    timing = StageTiming(preprocess=100, gates=200, hidden_state=300)
+
+    def test_serial_total(self):
+        assert self.timing.serial_total == 600
+        assert serial_schedule(self.timing, 10) == 6000
+
+    def test_pipelined_hides_preprocess(self):
+        # Steady state is max(P, G+H) = 500; fill pays P once, drain G+H.
+        assert pipelined_schedule(self.timing, 10) == 100 + 500 * 9 + 500
+
+    def test_pipelined_never_slower(self):
+        for items in (0, 1, 2, 50):
+            assert pipelined_schedule(self.timing, items) <= serial_schedule(
+                self.timing, items
+            )
+
+    def test_preprocess_bound_pipeline(self):
+        slow_preprocess = StageTiming(preprocess=1000, gates=10, hidden_state=10)
+        # Steady state bound by preprocess.
+        assert pipelined_schedule(slow_preprocess, 5) == 1000 + 1000 * 4 + 20
+
+    def test_zero_items(self):
+        assert pipelined_schedule(self.timing, 0) == 0
+        assert serial_schedule(self.timing, 0) == 0
+
+    def test_single_item_equals_serial(self):
+        assert pipelined_schedule(self.timing, 1) == self.timing.serial_total
+
+    def test_schedule_dispatch(self):
+        assert schedule(self.timing, 10, preemptive=True) == pipelined_schedule(self.timing, 10)
+        assert schedule(self.timing, 10, preemptive=False) == serial_schedule(self.timing, 10)
+
+    def test_speedup_above_one(self):
+        assert pipeline_speedup(self.timing, 100) > 1.0
+
+    def test_parallel_stage_is_max(self):
+        assert parallel_stage_cycles([5, 9, 3, 7]) == 9
+
+    def test_parallel_stage_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parallel_stage_cycles([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StageTiming(preprocess=-1, gates=0, hidden_state=0)
+        with pytest.raises(ValueError):
+            serial_schedule(self.timing, -1)

@@ -1,0 +1,89 @@
+"""Property-based tests on the HLS loop model's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.hls import HlsLoop, PragmaSet
+
+trips = st.integers(min_value=0, max_value=10_000)
+depths = st.integers(min_value=1, max_value=200)
+iis = st.integers(min_value=1, max_value=64)
+unrolls = st.sampled_from([1, 2, 4, 8, 16])
+
+
+class TestHlsInvariants:
+    @given(trips=trips, depth=depths, ii=iis)
+    @settings(max_examples=80, deadline=None)
+    def test_achieved_ii_never_below_requested(self, trips, depth, ii):
+        loop = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=ii),
+        )
+        assert loop.achieved_ii >= ii
+
+    @given(trips=trips, depth=depths, dep=iis)
+    @settings(max_examples=80, deadline=None)
+    def test_achieved_ii_respects_dependency(self, trips, depth, dep):
+        loop = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+            carried_dependency_ii=dep,
+        )
+        assert loop.achieved_ii >= dep
+
+    @given(a=trips, b=trips, depth=depths)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_trip_count(self, a, b, depth):
+        low, high = sorted((a, b))
+        make = lambda t: HlsLoop(
+            name="l", trip_count=t, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+        )
+        assert make(low).latency_cycles <= make(high).latency_cycles
+
+    @given(trips=st.integers(min_value=1, max_value=10_000), a=depths, b=depths)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_depth(self, trips, a, b):
+        low, high = sorted((a, b))
+        make = lambda d: HlsLoop(name="l", trip_count=trips, iteration_depth=d)
+        assert make(low).latency_cycles <= make(high).latency_cycles
+
+    @given(trips=st.integers(min_value=1, max_value=10_000), depth=depths,
+           unroll=unrolls)
+    @settings(max_examples=60, deadline=None)
+    def test_penalty_free_unroll_never_hurts_pipelined_loops(self, trips, depth, unroll):
+        base = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, array_partition=True),
+        )
+        unrolled = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, unroll=unroll,
+                              array_partition=True),
+            unroll_depth_penalty=0,
+        )
+        assert unrolled.latency_cycles <= base.latency_cycles
+
+    @given(trips=trips, depth=depths, accesses=st.integers(min_value=0, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_partitioning_never_hurts(self, trips, depth, accesses):
+        shared = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+            memory_accesses_per_iteration=accesses,
+        )
+        partitioned = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1, array_partition=True),
+            memory_accesses_per_iteration=accesses,
+        )
+        assert partitioned.latency_cycles <= shared.latency_cycles
+
+    @given(trips=st.integers(min_value=1, max_value=1000), depth=depths)
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_rate_consistent_with_latency(self, trips, depth):
+        loop = HlsLoop(
+            name="l", trip_count=trips, iteration_depth=depth,
+            pragmas=PragmaSet(pipeline=True, target_ii=1),
+        )
+        # latency = depth + II*(n-1): per-result cost approaches the II.
+        assert loop.latency_cycles == depth + loop.steady_state_ii * (trips - 1)

@@ -1,0 +1,110 @@
+"""Tests for the AXI port and DDR bank models."""
+
+import pytest
+
+from repro.hw.axi import AxiMasterPort
+from repro.hw.memory import DdrBank, DdrSubsystem, bandwidth_bound_ii
+
+
+class TestAxiPort:
+    def test_zero_bytes_is_free(self):
+        port = AxiMasterPort(name="p")
+        assert port.read_cycles(0) == 0
+
+    def test_read_is_latency_plus_beats(self):
+        port = AxiMasterPort(name="p", data_width_bits=512, read_latency_cycles=100)
+        # 65 bytes = 2 beats of 64 bytes.
+        assert port.read_cycles(65) == 102
+
+    def test_write_cheaper_setup_than_read(self):
+        port = AxiMasterPort(name="p")
+        assert port.write_cycles(64) < port.read_cycles(64)
+
+    def test_contention_stretches_data_phase(self):
+        port = AxiMasterPort(name="p", read_latency_cycles=0)
+        assert port.read_cycles(640, contention_factor=2.0) == 20
+
+    def test_traffic_accounting(self):
+        port = AxiMasterPort(name="p")
+        port.read_cycles(100)
+        port.write_cycles(50)
+        assert port.bytes_transferred == 150
+        assert port.transfer_count == 2
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            AxiMasterPort(name="p", data_width_bits=100)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            AxiMasterPort(name="p").read_cycles(-1)
+
+    def test_rejects_sub_unity_contention(self):
+        with pytest.raises(ValueError):
+            AxiMasterPort(name="p").read_cycles(64, contention_factor=0.5)
+
+
+class TestDdrBank:
+    def test_allocation_tracking(self):
+        bank = DdrBank(name="b", capacity_bytes=100)
+        bank.allocate(60)
+        assert bank.allocated_bytes == 60
+        with pytest.raises(MemoryError):
+            bank.allocate(50)
+
+    def test_free_all(self):
+        bank = DdrBank(name="b", capacity_bytes=100)
+        bank.allocate(80)
+        bank.free_all()
+        bank.allocate(100)
+
+    def test_contention_factor_counts_readers(self):
+        bank = DdrBank(name="b")
+        assert bank.contention_factor == 1.0
+        bank.attach_reader("cu0")
+        bank.attach_reader("cu1")
+        assert bank.contention_factor == 2.0
+
+    def test_bandwidth_bound_ii(self):
+        bank = DdrBank(name="b", peak_bandwidth_bytes_per_cycle=64)
+        assert bandwidth_bound_ii(128, bank) == 2
+        assert bandwidth_bound_ii(0, bank) == 1
+        bank.attach_reader("a")
+        bank.attach_reader("b")
+        assert bandwidth_bound_ii(128, bank) == 4
+
+
+class TestDdrSubsystem:
+    def test_paper_configuration_two_banks_four_cus(self):
+        # "a conservative two DDR banks" with 4 gates CUs -> 2 CUs/bank.
+        subsystem = DdrSubsystem.with_bank_count(2)
+        subsystem.assign_readers([f"gates_{i}" for i in range(4)])
+        assert subsystem.worst_contention_factor == 2.0
+
+    def test_four_banks_one_cu_each(self):
+        subsystem = DdrSubsystem.with_bank_count(4)
+        subsystem.assign_readers([f"gates_{i}" for i in range(4)])
+        assert subsystem.worst_contention_factor == 1.0
+
+    def test_round_robin_assignment(self):
+        subsystem = DdrSubsystem.with_bank_count(2)
+        assignment = subsystem.assign_readers(["a", "b", "c"])
+        assert assignment["a"].name == "DDR[0]"
+        assert assignment["b"].name == "DDR[1]"
+        assert assignment["c"].name == "DDR[0]"
+
+    def test_reassignment_clears_old_readers(self):
+        subsystem = DdrSubsystem.with_bank_count(2)
+        subsystem.assign_readers(["a", "b", "c", "d"])
+        subsystem.assign_readers(["a"])
+        assert subsystem.worst_contention_factor == 1.0
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            DdrSubsystem.with_bank_count(0)
+
+    def test_total_allocated(self):
+        subsystem = DdrSubsystem.with_bank_count(2)
+        subsystem.banks[0].allocate(10)
+        subsystem.banks[1].allocate(20)
+        assert subsystem.total_allocated() == 30

@@ -1,0 +1,136 @@
+"""Tests for the discrete-event core and its cross-validation against the
+analytic pipeline schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.dataflow import StageTiming, pipelined_schedule, serial_schedule
+from repro.hw.sim import PipelineTrace, Resource, Simulator, simulate_item_pipeline
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(10, lambda: order.append("b"))
+        simulator.schedule(5, lambda: order.append("a"))
+        simulator.schedule(20, lambda: order.append("c"))
+        assert simulator.run() == 20
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5, lambda: order.append(1))
+        simulator.schedule(5, lambda: order.append(2))
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_actions_can_schedule(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append(simulator.now)
+            simulator.schedule(7, lambda: seen.append(simulator.now))
+
+        simulator.schedule(3, first)
+        assert simulator.run() == 10
+        assert seen == [3, 10]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_runaway_guard(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule(1, forever)
+
+        simulator.schedule(0, forever)
+        with pytest.raises(RuntimeError, match="runaway"):
+            simulator.run(max_events=100)
+
+
+class TestResource:
+    def test_immediate_acquire_when_free(self):
+        resource = Resource("r")
+        fired = []
+        resource.acquire(lambda: fired.append(1))
+        assert fired == [1]
+        assert resource.busy
+
+    def test_waiters_run_fifo_on_release(self):
+        resource = Resource("r")
+        order = []
+        resource.acquire(lambda: order.append("first"))
+        resource.acquire(lambda: order.append("second"))
+        resource.acquire(lambda: order.append("third"))
+        assert order == ["first"]
+        resource.release()
+        assert order == ["first", "second"]
+        resource.release()
+        assert order == ["first", "second", "third"]
+
+    def test_release_while_free_raises(self):
+        with pytest.raises(RuntimeError):
+            Resource("r").release()
+
+
+class TestPipelineCrossValidation:
+    """The DES and the analytic schedule must agree cycle-for-cycle."""
+
+    CASES = [
+        StageTiming(preprocess=100, gates=200, hidden_state=300),  # compute-bound
+        StageTiming(preprocess=1000, gates=10, hidden_state=10),   # preprocess-bound
+        StageTiming(preprocess=224, gates=1, hidden_state=454),    # paper FP shape
+        StageTiming(preprocess=248, gates=404, hidden_state=1633), # paper vanilla
+        StageTiming(preprocess=5, gates=5, hidden_state=5),
+    ]
+
+    @pytest.mark.parametrize("timing", CASES)
+    @pytest.mark.parametrize("items", [0, 1, 2, 3, 10, 100])
+    def test_preemptive_matches_analytic(self, timing, items):
+        total, _ = simulate_item_pipeline(timing, items, preemptive=True)
+        assert total == pipelined_schedule(timing, items)
+
+    @pytest.mark.parametrize("timing", CASES)
+    @pytest.mark.parametrize("items", [0, 1, 2, 10])
+    def test_serial_matches_analytic(self, timing, items):
+        total, _ = simulate_item_pipeline(timing, items, preemptive=False)
+        assert total == serial_schedule(timing, items)
+
+    @given(
+        preprocess=st.integers(min_value=1, max_value=3000),
+        gates=st.integers(min_value=1, max_value=3000),
+        hidden=st.integers(min_value=1, max_value=3000),
+        items=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_property(self, preprocess, gates, hidden, items):
+        timing = StageTiming(preprocess=preprocess, gates=gates, hidden_state=hidden)
+        des_pipe, _ = simulate_item_pipeline(timing, items, preemptive=True)
+        des_serial, _ = simulate_item_pipeline(timing, items, preemptive=False)
+        assert des_pipe == pipelined_schedule(timing, items)
+        assert des_serial == serial_schedule(timing, items)
+        assert des_pipe <= des_serial
+
+    def test_trace_spans_do_not_overlap_on_compute(self):
+        timing = StageTiming(preprocess=50, gates=100, hidden_state=100)
+        _, trace = simulate_item_pipeline(timing, 10, preemptive=True)
+        spans = sorted(trace.compute_spans)
+        for (_, end), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start >= end  # the recurrence serialises compute
+
+    def test_trace_shows_overlap_in_preemptive_mode(self):
+        timing = StageTiming(preprocess=100, gates=100, hidden_state=100)
+        _, trace = simulate_item_pipeline(timing, 5, preemptive=True)
+        # Some preprocess span must start before the previous compute ends.
+        compute_spans = sorted(trace.compute_spans)
+        preprocess_spans = sorted(trace.preprocess_spans)
+        overlapped = any(
+            p_start < c_end
+            for (p_start, _), (_, c_end) in zip(preprocess_spans[1:], compute_spans)
+        )
+        assert overlapped

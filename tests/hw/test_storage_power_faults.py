@@ -1,0 +1,219 @@
+"""Tests for PCIe, SSD, SmartSSD composition, power, and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.hw.axi import TransferError
+from repro.hw.faults import (
+    AxiStallFault,
+    BitFlipFault,
+    DmaErrorFault,
+    FaultPlan,
+    retry_dma,
+)
+from repro.hw.pcie import PcieLink, PcieSwitch
+from repro.hw.power import (
+    A100_GPU_POWER,
+    SMARTSSD_FPGA_POWER,
+    XEON_CPU_POWER,
+    PowerProfile,
+    energy_comparison,
+)
+from repro.hw.smartssd import SmartSSD
+from repro.hw.ssd import NvmeSsd
+
+
+class TestPcieLink:
+    def test_gen3_x4_bandwidth(self):
+        link = PcieLink(generation=3, lanes=4)
+        assert link.bandwidth_bytes_per_second == pytest.approx(3.94e9, rel=0.01)
+
+    def test_transfer_time_scales_with_size(self):
+        link = PcieLink()
+        small = link.transfer_seconds(1024)
+        large = link.transfer_seconds(1024 * 1024)
+        assert large > small
+
+    def test_zero_bytes_free(self):
+        assert PcieLink().transfer_seconds(0) == 0.0
+
+    def test_rejects_unknown_generation(self):
+        with pytest.raises(ValueError):
+            PcieLink(generation=7)
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ValueError):
+            PcieLink(lanes=3)
+
+
+class TestPcieSwitch:
+    def test_p2p_faster_than_host_mediated(self):
+        switch = PcieSwitch()
+        num_bytes = 1 << 20
+        assert switch.p2p_transfer_seconds(num_bytes) < switch.host_mediated_transfer_seconds(
+            num_bytes
+        )
+
+    def test_savings_positive(self):
+        switch = PcieSwitch()
+        assert switch.p2p_savings_seconds(4096) > 0
+
+    def test_traffic_counters(self):
+        switch = PcieSwitch()
+        switch.p2p_transfer_seconds(100)
+        switch.host_mediated_transfer_seconds(200)
+        assert switch.p2p_bytes == 100
+        assert switch.host_bytes == 200
+
+
+class TestNvmeSsd:
+    def test_write_then_read(self):
+        ssd = NvmeSsd()
+        ssd.write_object("trace", 4096)
+        num_bytes, seconds = ssd.read_object("trace")
+        assert num_bytes == 4096
+        assert seconds > ssd.read_latency_seconds
+
+    def test_capacity_enforced(self):
+        ssd = NvmeSsd(capacity_bytes=1000)
+        with pytest.raises(MemoryError):
+            ssd.write_object("big", 2000)
+
+    def test_overwrite_replaces_size(self):
+        ssd = NvmeSsd(capacity_bytes=1000)
+        ssd.write_object("a", 800)
+        ssd.write_object("a", 100)
+        assert ssd.used_bytes == 100
+
+    def test_missing_object(self):
+        with pytest.raises(KeyError):
+            NvmeSsd().read_object("nope")
+
+    def test_delete(self):
+        ssd = NvmeSsd()
+        ssd.write_object("a", 100)
+        ssd.delete_object("a")
+        assert ssd.used_bytes == 0
+        with pytest.raises(KeyError):
+            ssd.delete_object("a")
+
+    def test_io_counters(self):
+        ssd = NvmeSsd()
+        ssd.write_object("a", 10)
+        ssd.read_object("a")
+        ssd.read_seconds(100)
+        assert ssd.writes_issued == 1
+        assert ssd.reads_issued == 2
+
+
+class TestSmartSSD:
+    def test_default_composition_is_smartssd_like(self):
+        device = SmartSSD()
+        assert device.fpga.part.name == "xcku15p"
+        assert device.ssd.name == "PM1733"
+
+    def test_p2p_fetch_flow(self):
+        device = SmartSSD()
+        device.ssd.write_object("batch", 1 << 16)
+        seconds = device.p2p_fetch("batch")
+        assert seconds > 0
+        assert device.traffic_summary()["p2p"] == 1 << 16
+
+    def test_p2p_beats_host_fetch(self):
+        a, b = SmartSSD(), SmartSSD()
+        a.ssd.write_object("x", 1 << 20)
+        b.ssd.write_object("x", 1 << 20)
+        assert a.p2p_fetch("x") < b.host_fetch("x")
+
+    def test_fpga_dram_accounting(self):
+        device = SmartSSD(fpga_dram_bytes=1000)
+        device.ssd.write_object("x", 900)
+        device.p2p_fetch("x")
+        assert device.fpga_dram_free_bytes == 100
+        device.release_fpga_dram(900)
+        assert device.fpga_dram_free_bytes == 1000
+
+    def test_fpga_dram_exhaustion(self):
+        device = SmartSSD(fpga_dram_bytes=100)
+        device.ssd.write_object("x", 200)
+        with pytest.raises(MemoryError):
+            device.p2p_fetch("x")
+
+    def test_release_validation(self):
+        device = SmartSSD()
+        with pytest.raises(ValueError):
+            device.release_fpga_dram(1)
+
+    def test_weight_load(self):
+        device = SmartSSD()
+        seconds = device.host_load_weights(7472 * 4)
+        assert seconds > 0
+        assert device.traffic_summary()["host_to_fpga"] == 7472 * 4
+
+
+class TestPower:
+    def test_fpga_lowest_power(self):
+        assert SMARTSSD_FPGA_POWER.active_watts < XEON_CPU_POWER.active_watts
+        assert XEON_CPU_POWER.active_watts < A100_GPU_POWER.active_watts
+
+    def test_energy_per_inference(self):
+        joules = SMARTSSD_FPGA_POWER.energy_per_inference_joules(2.15e-6)
+        assert joules == pytest.approx(10.0 * 2.15e-6)
+
+    def test_comparison_structure(self):
+        result = energy_comparison(
+            {SMARTSSD_FPGA_POWER: 2.15e-6, A100_GPU_POWER: 741e-6}
+        )
+        assert result["SmartSSD-FPGA"] < result["A100-40GB"]
+
+    def test_rejects_active_below_idle(self):
+        with pytest.raises(ValueError):
+            PowerProfile(name="x", idle_watts=10.0, active_watts=5.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            SMARTSSD_FPGA_POWER.energy_joules(-1.0)
+
+
+class TestFaults:
+    def test_axi_stall_fires_periodically(self):
+        fault = AxiStallFault(period=3, extra_cycles=50)
+        penalties = [fault.stall_cycles() for _ in range(6)]
+        assert penalties == [0, 0, 50, 0, 0, 50]
+
+    def test_bit_flip_changes_one_element(self):
+        fault = BitFlipFault(element_index=2, bit=4)
+        buffer = np.array([10, 20, 30, 40], dtype=np.int64)
+        corrupted = fault.corrupt(buffer)
+        assert corrupted[2] == 30 ^ (1 << 4)
+        assert list(corrupted[[0, 1, 3]]) == [10, 20, 40]
+        # Original untouched.
+        assert buffer[2] == 30
+
+    def test_bit_flip_fires_once(self):
+        fault = BitFlipFault(fire_once=True)
+        buffer = np.array([1], dtype=np.int64)
+        first = fault.corrupt(buffer)
+        second = fault.corrupt(buffer)
+        assert first[0] != buffer[0]
+        np.testing.assert_array_equal(second, buffer)
+
+    def test_dma_error_then_recovery(self):
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=2))
+        assert retry_dma(plan, attempts=3) == 3
+
+    def test_dma_retry_budget_exhausted(self):
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=5))
+        with pytest.raises(TransferError):
+            retry_dma(plan, attempts=3)
+
+    def test_empty_plan_is_noop(self):
+        plan = FaultPlan()
+        assert plan.extra_transfer_cycles() == 0
+        buffer = np.array([1], dtype=np.int64)
+        np.testing.assert_array_equal(plan.maybe_corrupt(buffer), buffer)
+        plan.check_dma()  # must not raise
+
+    def test_retry_dma_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            retry_dma(FaultPlan(), attempts=0)

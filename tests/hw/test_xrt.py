@@ -1,0 +1,124 @@
+"""Tests for the XRT-style host runtime shim."""
+
+import pytest
+
+from repro.hw.clock import ClockDomain
+from repro.hw.fpga import FpgaDevice
+from repro.hw.pcie import PcieLink
+from repro.hw.xrt import CommandQueue, Direction, XrtDevice
+
+
+@pytest.fixture
+def device():
+    return XrtDevice(FpgaDevice(), link=PcieLink(generation=3, lanes=16))
+
+
+class TestBuffers:
+    def test_allocation_charges_bank(self, device):
+        before = device.fpga.ddr.banks[0].allocated_bytes
+        device.allocate_buffer("weights", 4096)
+        assert device.fpga.ddr.banks[0].allocated_bytes == before + 4096
+
+    def test_bank_selection(self, device):
+        device.allocate_buffer("a", 100, bank_index=1)
+        assert device.fpga.ddr.banks[1].allocated_bytes == 100
+        assert device.fpga.ddr.banks[0].allocated_bytes == 0
+
+    def test_duplicate_name_rejected(self, device):
+        device.allocate_buffer("x", 10)
+        with pytest.raises(ValueError):
+            device.allocate_buffer("x", 10)
+
+    def test_bad_bank_index(self, device):
+        with pytest.raises(ValueError):
+            device.allocate_buffer("x", 10, bank_index=5)
+
+    def test_zero_size_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.allocate_buffer("x", 0)
+
+    def test_oversized_allocation(self, device):
+        with pytest.raises(MemoryError):
+            device.allocate_buffer("huge", 10**18)
+
+    def test_release_tracks_liveness(self, device):
+        buffer = device.allocate_buffer("x", 10)
+        assert buffer in device.live_buffers
+        buffer.release()
+        assert buffer not in device.live_buffers
+        with pytest.raises(RuntimeError):
+            buffer.release()
+
+
+class TestQueue:
+    def test_migrate_advances_timeline(self, device):
+        queue = device.create_queue()
+        buffer = device.allocate_buffer("input", 1 << 20)
+        event = queue.enqueue_migrate(buffer, Direction.HOST_TO_DEVICE)
+        assert event.duration_seconds > 0
+        assert queue.timeline_seconds == event.end_seconds
+
+    def test_in_order_execution(self, device):
+        queue = device.create_queue()
+        buffer = device.allocate_buffer("input", 4096)
+        first = queue.enqueue_migrate(buffer, Direction.HOST_TO_DEVICE)
+        second = queue.enqueue_kernel("gates", cycles=1000, clock=ClockDomain())
+        assert second.start_seconds == first.end_seconds
+
+    def test_kernel_duration_matches_clock(self, device):
+        queue = device.create_queue()
+        clock = ClockDomain(frequency_hz=300e6)
+        event = queue.enqueue_kernel("k", cycles=300, clock=clock)
+        assert event.duration_seconds == pytest.approx(1e-6)
+
+    def test_migrate_released_buffer_rejected(self, device):
+        queue = device.create_queue()
+        buffer = device.allocate_buffer("x", 10)
+        buffer.release()
+        with pytest.raises(RuntimeError):
+            queue.enqueue_migrate(buffer, Direction.HOST_TO_DEVICE)
+
+    def test_negative_cycles_rejected(self, device):
+        queue = device.create_queue()
+        with pytest.raises(ValueError):
+            queue.enqueue_kernel("k", cycles=-1, clock=ClockDomain())
+
+    def test_finish_returns_total(self, device):
+        queue = device.create_queue()
+        buffer = device.allocate_buffer("x", 1 << 16)
+        queue.enqueue_migrate(buffer, Direction.HOST_TO_DEVICE)
+        queue.enqueue_kernel("k", cycles=3000, clock=ClockDomain())
+        queue.enqueue_migrate(buffer, Direction.DEVICE_TO_HOST)
+        assert queue.finish() == pytest.approx(queue.timeline_seconds)
+
+    def test_profile_summary(self, device):
+        queue = device.create_queue()
+        buffer = device.allocate_buffer("x", 1 << 16)
+        queue.enqueue_migrate(buffer, Direction.HOST_TO_DEVICE)
+        queue.enqueue_kernel("k", cycles=3000, clock=ClockDomain())
+        summary = XrtDevice.profile_summary(queue)
+        assert summary["migrate"] > 0
+        assert summary["kernel"] > 0
+        assert summary["total"] == pytest.approx(summary["migrate"] + summary["kernel"])
+
+
+class TestHostFlowIntegration:
+    def test_weight_download_then_inference_episode(self, device):
+        """The paper's host flow: weights down once, then kernel runs."""
+        from repro.core.config import EngineConfig, OptimizationLevel
+        from repro.core.engine import CSDInferenceEngine
+
+        engine = CSDInferenceEngine.build_unloaded(
+            EngineConfig(optimization=OptimizationLevel.FIXED_POINT)
+        )
+        queue = device.create_queue()
+        weights = device.allocate_buffer("weights", 7505 * 8)
+        queue.enqueue_migrate(weights, Direction.HOST_TO_DEVICE)
+        item_cycles = int(
+            engine.per_item_microseconds()
+            * 100 * engine.device.clock.frequency_hz * 1e-6
+        )
+        queue.enqueue_kernel("lstm_sequence", cycles=item_cycles, clock=engine.device.clock)
+        summary = XrtDevice.profile_summary(queue)
+        # One-off weight download is small next to a full sequence.
+        assert summary["kernel"] > summary["migrate"]

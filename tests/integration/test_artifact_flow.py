@@ -1,0 +1,79 @@
+"""Cross-surface integration: every artefact boundary in one flow.
+
+dataset → CSV → (reload) → train → weight file → engine → detector, with
+consistency asserted at each hand-off.  This is the flow an operator who
+never touches the Python API (only files + CLI) would exercise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CSDInferenceEngine
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import dump_weights
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.ransomware.dataset import load_csv, save_csv
+from repro.ransomware.detector import RansomwareDetector
+
+
+@pytest.fixture(scope="module")
+def flow(tmp_path_factory, tiny_dataset):
+    """Run the whole artefact chain once; tests inspect the pieces."""
+    root = tmp_path_factory.mktemp("flow")
+    csv_path = root / "dataset.csv"
+    weights_path = root / "weights.txt"
+
+    save_csv(tiny_dataset, csv_path)
+    reloaded = load_csv(csv_path)
+
+    train, test = reloaded.train_test_split(0.25, seed=3)
+    model = SequenceClassifier(seed=3)
+    history = Trainer(
+        model,
+        TrainingConfig(epochs=5, eval_every=5, learning_rate=0.005,
+                       restore_best_weights=True),
+    ).fit(train.sequences, train.labels, test.sequences, test.labels)
+    dump_weights(model, weights_path)
+
+    engine = CSDInferenceEngine.from_weight_file(
+        str(weights_path), sequence_length=reloaded.sequence_length
+    )
+    detector = RansomwareDetector(engine)
+    return {
+        "original": tiny_dataset,
+        "reloaded": reloaded,
+        "model": model,
+        "history": history,
+        "engine": engine,
+        "detector": detector,
+        "test": test,
+    }
+
+
+class TestArtifactFlow:
+    def test_csv_preserves_content(self, flow):
+        np.testing.assert_array_equal(
+            flow["reloaded"].sequences, flow["original"].sequences
+        )
+        np.testing.assert_array_equal(
+            flow["reloaded"].labels, flow["original"].labels
+        )
+
+    def test_training_on_reloaded_data_converges(self, flow):
+        assert flow["history"].peak.test_accuracy > 0.85
+
+    def test_weight_file_engine_matches_model_decisions(self, flow):
+        sample = flow["test"].subset(np.arange(min(40, len(flow["test"]))))
+        model_pred = flow["model"].predict(sample.sequences)
+        engine_pred = flow["engine"].predict(sample.sequences)
+        assert float(np.mean(model_pred == engine_pred)) >= 0.95
+
+    def test_detector_evaluation_consistent(self, flow):
+        sample = flow["test"].subset(np.arange(min(60, len(flow["test"]))))
+        metrics = flow["detector"].evaluate(sample)
+        assert metrics["accuracy"] > 0.75
+
+    def test_engine_dimensions_inferred_from_artifacts(self, flow):
+        dims = flow["engine"].config.dimensions
+        assert dims.vocab_size == 278
+        assert dims.sequence_length == flow["reloaded"].sequence_length

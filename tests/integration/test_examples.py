@@ -1,0 +1,37 @@
+"""Smoke checks on the example scripts.
+
+Running the examples end to end takes minutes each (they train models),
+so the suite checks they are importable, expose a ``main``, and document
+themselves; the CLI-level behaviours they exercise are covered by the
+dedicated integration tests.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLE_FILES) >= 5
+
+    def test_quickstart_exists(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+        assert module.__doc__, f"{path.stem} lacks a module docstring"
+        assert "Run:" in module.__doc__, f"{path.stem} docstring lacks run line"

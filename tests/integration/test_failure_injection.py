@@ -1,0 +1,97 @@
+"""Failure-injection integration tests.
+
+Dependability checks: what the inference stack does when the substrate
+misbehaves — SEU bit flips in weight buffers, DMA failures on the P2P
+path, AXI stalls — and that the detector's behaviour degrades loudly or
+recoverably, never silently wrong by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.hw.axi import TransferError
+from repro.hw.faults import AxiStallFault, BitFlipFault, DmaErrorFault, FaultPlan, retry_dma
+from tests.conftest import TEST_SEQUENCE_LENGTH
+
+
+@pytest.fixture
+def engine(trained_model):
+    return engine_at_level(
+        trained_model, OptimizationLevel.FIXED_POINT,
+        sequence_length=TEST_SEQUENCE_LENGTH,
+    )
+
+
+class TestBitFlips:
+    def test_low_bit_flip_in_embedding_is_negligible(self, engine, rng):
+        sequence = rng.integers(0, 278, size=TEST_SEQUENCE_LENGTH)
+        clean = engine.infer_sequence(sequence).probability
+        fault = BitFlipFault(element_index=3, bit=2)  # flips ~4e-6 of value
+        corrupted = fault.corrupt(engine.quantized.embedding)
+        engine.preprocess._embedding_fixed = corrupted
+        dirty = engine.infer_sequence(sequence).probability
+        assert dirty == pytest.approx(clean, abs=0.01)
+
+    def test_high_bit_flip_can_change_output(self, engine, rng):
+        sequence = rng.integers(0, 278, size=TEST_SEQUENCE_LENGTH)
+        clean = engine.infer_sequence(sequence).probability
+        # Flip a high bit of an embedding row the sequence actually uses.
+        token = int(sequence[0])
+        embedding_dim = engine.config.dimensions.embedding_dim
+        fault = BitFlipFault(element_index=token * embedding_dim, bit=40)
+        corrupted = fault.corrupt(engine.quantized.embedding)
+        engine.preprocess._embedding_fixed = corrupted
+        dirty = engine.infer_sequence(sequence).probability
+        # A 2^40-scaled perturbation (~1e6 after descaling) must visibly
+        # move the output; silent masking would hide SEUs from scrubbing.
+        assert abs(dirty - clean) > 1e-6
+
+    def test_scrubbing_restores_output(self, engine, rng):
+        sequence = rng.integers(0, 278, size=TEST_SEQUENCE_LENGTH)
+        clean = engine.infer_sequence(sequence).probability
+        pristine = engine.quantized.embedding
+        engine.preprocess._embedding_fixed = BitFlipFault(bit=45).corrupt(pristine)
+        engine.infer_sequence(sequence)
+        # Scrub: re-load from the host's copy (the paper's host program
+        # retains the weight file).
+        engine.preprocess._embedding_fixed = pristine
+        assert engine.infer_sequence(sequence).probability == clean
+
+
+class TestDmaFailures:
+    def test_transient_dma_failure_recovers_with_retry(self):
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=1))
+        assert retry_dma(plan, attempts=3) == 2
+
+    def test_persistent_dma_failure_surfaces(self):
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=10))
+        with pytest.raises(TransferError):
+            retry_dma(plan, attempts=3)
+
+    def test_detection_pipeline_survives_transient_dma(self, engine, rng):
+        """A transient P2P failure delays but does not corrupt detection."""
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=2))
+        attempts = retry_dma(plan, attempts=4)
+        assert attempts == 3
+        sequence = rng.integers(0, 278, size=TEST_SEQUENCE_LENGTH)
+        result = engine.infer_sequence(sequence)
+        assert 0.0 <= result.probability <= 1.0
+
+
+class TestAxiStalls:
+    def test_stalls_add_latency_not_errors(self):
+        fault = AxiStallFault(period=2, extra_cycles=100)
+        plan = FaultPlan(axi_stall=fault)
+        total_penalty = sum(plan.extra_transfer_cycles() for _ in range(10))
+        assert total_penalty == 5 * 100
+
+    def test_stalled_transfer_cycles_monotone(self):
+        from repro.hw.axi import AxiMasterPort
+
+        port = AxiMasterPort(name="p")
+        plan = FaultPlan(axi_stall=AxiStallFault(period=1, extra_cycles=50))
+        base = port.read_cycles(64)
+        stalled = port.read_cycles(64) + plan.extra_transfer_cycles()
+        assert stalled == base + 50

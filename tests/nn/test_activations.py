@@ -1,0 +1,88 @@
+"""Tests for float activations and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    ACTIVATIONS,
+    get_activation,
+    sigmoid,
+    sigmoid_grad,
+    softsign,
+    softsign_grad,
+    tanh,
+    tanh_grad,
+)
+
+
+def numerical_gradient(function, x, eps=1e-6):
+    return (function(x + eps) - function(x - eps)) / (2 * eps)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_saturation(self):
+        assert sigmoid(np.array([50.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-50.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_on_large_negative(self):
+        # The naive 1/(1+exp(-x)) overflows at x = -1000.
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(values))
+
+    def test_gradient_matches_numerical(self):
+        xs = np.linspace(-4, 4, 17)
+        np.testing.assert_allclose(
+            sigmoid_grad(xs), numerical_gradient(sigmoid, xs), atol=1e-6
+        )
+
+
+class TestSoftsign:
+    def test_zero(self):
+        assert softsign(np.array([0.0]))[0] == 0.0
+
+    def test_asymptotes(self):
+        assert softsign(np.array([1e9]))[0] == pytest.approx(1.0)
+        assert softsign(np.array([-1e9]))[0] == pytest.approx(-1.0)
+
+    def test_same_s_shape_as_tanh(self):
+        # The paper's justification: similar S-curve and asymptotes.
+        xs = np.linspace(-5, 5, 101)
+        soft = softsign(xs)
+        hard = tanh(xs)
+        assert np.all(np.sign(soft) == np.sign(hard))
+        assert np.all(np.abs(soft) <= np.abs(hard) + 1e-12)
+
+    def test_gradient_matches_numerical(self):
+        xs = np.linspace(-4, 4, 17)
+        np.testing.assert_allclose(
+            softsign_grad(xs), numerical_gradient(softsign, xs), atol=1e-6
+        )
+
+    def test_gradient_never_vanishes_polynomially(self):
+        # softsign's gradient decays as 1/x^2 (not exponentially like tanh).
+        assert softsign_grad(np.array([10.0]))[0] > tanh_grad(np.array([10.0]))[0]
+
+
+class TestTanh:
+    def test_gradient_matches_numerical(self):
+        xs = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(
+            tanh_grad(xs), numerical_gradient(tanh, xs), atol=1e-6
+        )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ACTIVATIONS) == {"sigmoid", "tanh", "softsign"}
+
+    def test_lookup_returns_pair(self):
+        function, gradient = get_activation("softsign")
+        assert function is softsign
+        assert gradient is softsign_grad
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("relu")

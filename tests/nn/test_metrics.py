@@ -1,0 +1,83 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn.metrics import ConfusionMatrix, classification_report, confusion_matrix
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        predictions = np.array([1, 1, 0, 0, 1, 0])
+        labels = np.array([1, 0, 0, 1, 1, 0])
+        matrix = confusion_matrix(predictions, labels)
+        assert (matrix.true_positive, matrix.false_positive) == (2, 1)
+        assert (matrix.true_negative, matrix.false_negative) == (2, 1)
+
+    def test_perfect_prediction(self):
+        labels = np.array([1, 0, 1, 0])
+        matrix = confusion_matrix(labels, labels)
+        assert matrix.accuracy == 1.0
+        assert matrix.precision == 1.0
+        assert matrix.recall == 1.0
+        assert matrix.f1 == 1.0
+
+    def test_all_wrong(self):
+        predictions = np.array([1, 0])
+        labels = np.array([0, 1])
+        matrix = confusion_matrix(predictions, labels)
+        assert matrix.accuracy == 0.0
+        assert matrix.f1 == 0.0
+
+    def test_zero_division_guards(self):
+        matrix = ConfusionMatrix(0, 0, 5, 0)
+        assert matrix.precision == 0.0
+        assert matrix.recall == 0.0
+        assert matrix.f1 == 0.0
+        empty = ConfusionMatrix(0, 0, 0, 0)
+        assert empty.accuracy == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1, 0]), np.array([1]))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([2, 0]), np.array([1, 0]))
+
+    def test_paper_metric_values(self):
+        # Counts engineered to approximate the paper's reported metrics.
+        matrix = ConfusionMatrix(
+            true_positive=2639, false_negative=29,
+            true_negative=3063, false_positive=69,
+        )
+        assert matrix.accuracy == pytest.approx(0.983, abs=0.001)
+        assert matrix.precision == pytest.approx(0.9745, abs=0.001)
+        assert matrix.recall == pytest.approx(0.989, abs=0.001)
+
+    def test_report_keys(self):
+        report = classification_report(np.array([1, 0]), np.array([1, 0]))
+        assert set(report) == {"accuracy", "precision", "recall", "f1"}
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=50),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=50),
+    )
+    def test_metrics_bounded(self, predictions, labels):
+        size = min(len(predictions), len(labels))
+        matrix = confusion_matrix(
+            np.array(predictions[:size]), np.array(labels[:size])
+        )
+        for metric in matrix.as_dict().values():
+            assert 0.0 <= metric <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=50))
+    def test_f1_is_harmonic_mean(self, labels):
+        predictions = labels[::-1]
+        matrix = confusion_matrix(np.array(predictions), np.array(labels))
+        p, r = matrix.precision, matrix.recall
+        if p + r > 0:
+            assert matrix.f1 == pytest.approx(2 * p * r / (p + r))

@@ -1,0 +1,96 @@
+"""Tests for ROC/AUC and the threshold sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.metrics import auc, roc_curve, threshold_sweep
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert auc(scores, labels) == pytest.approx(1.0)
+        # The curve passes through (0, 1): all positives before any FP.
+        assert any(f == 0.0 and t == 1.0 for f, t in zip(fpr, tpr))
+
+    def test_inverted_scores_auc_zero(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=4000)
+        labels = rng.integers(0, 2, size=4000)
+        assert auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_endpoints(self):
+        scores = np.array([0.3, 0.7, 0.5, 0.1])
+        labels = np.array([0, 1, 1, 0])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+        assert thresholds[0] == np.inf
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(3)
+        scores = rng.uniform(size=200)
+        labels = rng.integers(0, 2, size=200)
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapsed(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([1, 0, 1, 1])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        # Two distinct scores -> origin + two curve points.
+        assert len(thresholds) == 3
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0.5, 0.6]), np.array([1, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0.5]), np.array([1, 0]))
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_bounded_property(self, count):
+        rng = np.random.default_rng(count)
+        scores = rng.uniform(size=count)
+        labels = np.r_[1, 0, rng.integers(0, 2, size=count - 2)]
+        value = auc(scores, labels)
+        assert 0.0 <= value <= 1.0
+
+
+class TestThresholdSweep:
+    def test_monotone_recall_in_threshold(self):
+        rng = np.random.default_rng(1)
+        scores = np.r_[rng.uniform(0.4, 1.0, 50), rng.uniform(0.0, 0.6, 50)]
+        labels = np.r_[np.ones(50, dtype=int), np.zeros(50, dtype=int)]
+        sweep = threshold_sweep(scores, labels, [0.1, 0.3, 0.5, 0.7, 0.9])
+        recalls = [matrix.recall for _, matrix in sweep]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_extreme_thresholds(self):
+        scores = np.array([0.2, 0.8])
+        labels = np.array([0, 1])
+        sweep = threshold_sweep(scores, labels, [0.0, 1.1])
+        permissive, strict = sweep[0][1], sweep[1][1]
+        assert permissive.recall == 1.0 and permissive.precision == 0.5
+        assert strict.recall == 0.0
+
+    def test_detector_operating_point(self, trained_model, tiny_split):
+        """The ROC data behind the quarantine-threshold choice."""
+        _, test = tiny_split
+        sample = test.subset(np.arange(min(150, len(test))))
+        scores = trained_model.predict_proba(sample.sequences)
+        assert auc(scores, sample.labels) > 0.9
+        sweep = threshold_sweep(scores, sample.labels, [0.5, 0.9])
+        loose, strict = sweep[0][1], sweep[1][1]
+        assert strict.precision >= loose.precision

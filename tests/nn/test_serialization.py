@@ -1,0 +1,90 @@
+"""Tests for the text weight file format."""
+
+import numpy as np
+import pytest
+
+from repro.nn.model import SequenceClassifier
+from repro.nn.serialization import (
+    SECTION_NAMES,
+    dump_weights,
+    load_into_model,
+    load_weights,
+)
+
+
+@pytest.fixture
+def small_model():
+    return SequenceClassifier(vocab_size=10, embedding_dim=3, hidden_size=4, seed=5)
+
+
+class TestDump:
+    def test_contains_all_sections(self, small_model):
+        text = dump_weights(small_model)
+        for name in SECTION_NAMES:
+            assert f"# {name}" in text
+
+    def test_writes_to_path(self, small_model, tmp_path):
+        path = tmp_path / "weights.txt"
+        dump_weights(small_model, path)
+        assert path.exists()
+        assert load_weights(str(path))["embedding"].shape == (10, 3)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, small_model):
+        arrays = load_weights(dump_weights(small_model))
+        for name, original in zip(SECTION_NAMES, small_model.get_weights()):
+            np.testing.assert_array_equal(arrays[name], original)
+
+    def test_load_into_model_preserves_predictions(self, small_model, rng):
+        text = dump_weights(small_model)
+        other = SequenceClassifier(vocab_size=10, embedding_dim=3, hidden_size=4, seed=99)
+        load_into_model(text, other)
+        x = rng.integers(0, 10, size=(4, 6))
+        np.testing.assert_allclose(
+            small_model.predict_proba(x), other.predict_proba(x)
+        )
+
+    def test_full_precision_preserved(self, small_model):
+        # repr() round-trips float64 exactly; any lossy formatting would
+        # perturb the CSD engine's numerics.
+        arrays = load_weights(dump_weights(small_model))
+        assert np.array_equal(arrays["lstm_W_x"], small_model.lstm.W_x)
+
+
+class TestMalformedInput:
+    def _valid_text(self, small_model):
+        return dump_weights(small_model)
+
+    def test_unknown_section(self):
+        with pytest.raises(ValueError, match="unknown section"):
+            load_weights("# bogus 2\n1.0\n2.0\n")
+
+    def test_duplicate_section(self, small_model):
+        text = self._valid_text(small_model)
+        with pytest.raises(ValueError, match="duplicate"):
+            load_weights(text + "# embedding 1\n0.0\n")
+
+    def test_missing_sections(self):
+        with pytest.raises(ValueError, match="missing sections"):
+            load_weights("# embedding 1 1\n0.5\n")
+
+    def test_wrong_value_count(self):
+        with pytest.raises(ValueError, match="expected 4 values"):
+            load_weights("# embedding 2 2\n0.1\n0.2\n0.3\n# lstm_W_x 0\n")
+
+    def test_value_before_header(self):
+        with pytest.raises(ValueError, match="before any section"):
+            load_weights("1.5\n# embedding 1 1\n")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="not a number"):
+            load_weights("# embedding 1 1\nhello\n")
+
+    def test_empty_header(self):
+        with pytest.raises(ValueError, match="empty section header"):
+            load_weights("#\n")
+
+    def test_blank_lines_tolerated(self, small_model):
+        text = self._valid_text(small_model).replace("\n", "\n\n", 3)
+        assert load_weights(text)["embedding"].shape == (10, 3)

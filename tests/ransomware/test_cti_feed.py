@@ -1,0 +1,69 @@
+"""Tests for the CTI feed queue and feed-processing loop."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.ransomware.cti import (
+    CtiFeed,
+    ModelUpdateWorkflow,
+    NOVEL_STRAIN,
+    ThreatReport,
+)
+from tests.conftest import TEST_SEQUENCE_LENGTH
+
+
+def report(strain=NOVEL_STRAIN, date="2026-07-01"):
+    return ThreatReport(strain=strain, first_seen=date)
+
+
+class TestCtiFeed:
+    def test_publish_and_take_fifo(self):
+        feed = CtiFeed()
+        first = report(date="2026-06-01")
+        second = report(
+            strain=dataclasses.replace(NOVEL_STRAIN, name="Other"),
+            date="2026-06-02",
+        )
+        feed.publish(first)
+        feed.publish(second)
+        assert feed.take() is first
+        assert feed.take() is second
+        assert feed.take() is None
+
+    def test_processed_strains_skipped(self):
+        feed = CtiFeed()
+        first = report()
+        feed.publish(first)
+        taken = feed.take()
+        feed.mark_processed(taken)
+        feed.publish(report(date="2026-07-02"))  # same strain again
+        assert feed.take() is None
+        assert feed.processed_strains == ("Hive-like",)
+
+    def test_constructor_seeds_pending(self):
+        feed = CtiFeed([report()])
+        assert len(feed.pending) == 1
+
+
+class TestProcessFeed:
+    def test_drains_feed_and_updates_model(self, trained_model, tiny_dataset):
+        from repro.nn.model import SequenceClassifier
+
+        model = SequenceClassifier(seed=0)
+        model.set_weights(trained_model.get_weights())
+        engine = engine_at_level(
+            model, OptimizationLevel.FIXED_POINT,
+            sequence_length=TEST_SEQUENCE_LENGTH,
+        )
+        workflow = ModelUpdateWorkflow(engine, model)
+        feed = CtiFeed([report(), report(date="2026-07-03")])  # duplicate strain
+        refresh = tiny_dataset.subset(np.arange(min(200, len(tiny_dataset))))
+        results = workflow.process_feed(feed, refresh, epochs=1, seed=2)
+        # The duplicate is skipped: exactly one update cycle ran.
+        assert len(results) == 1
+        assert results[0].strain_name == "Hive-like"
+        assert feed.take() is None

@@ -1,0 +1,119 @@
+"""Tests for the Cuckoo report interchange."""
+
+import json
+
+import pytest
+
+from repro.ransomware.cuckoo_report import (
+    load_report,
+    report_to_trace,
+    save_report,
+    trace_to_report,
+)
+from repro.ransomware.families import TESLACRYPT
+from repro.ransomware.sandbox import CuckooSandbox
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return CuckooSandbox(os_version="windows11", seed=4).execute_ransomware(
+        TESLACRYPT, 2
+    )
+
+
+class TestEmit:
+    def test_report_structure(self, trace):
+        report = trace_to_report(trace)
+        assert report["info"]["platform"] == "windows11"
+        assert report["info"]["custom"] == "Teslacrypt/2"
+        assert len(report["behavior"]["processes"][0]["calls"]) == len(trace)
+        assert report["repro"]["is_ransomware"] is True
+
+    def test_apistats_counts(self, trace):
+        report = trace_to_report(trace, pid=77)
+        stats = report["behavior"]["apistats"]["77"]
+        assert sum(stats.values()) == len(trace)
+        assert stats["NtCreateFile"] == trace.calls.count("NtCreateFile")
+
+    def test_json_serialisable(self, trace):
+        json.dumps(trace_to_report(trace))
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, trace):
+        recovered, dropped = report_to_trace(trace_to_report(trace))
+        assert dropped == 0
+        assert recovered.calls == trace.calls
+        assert recovered.source == trace.source
+        assert recovered.variant == trace.variant
+        assert recovered.os_version == trace.os_version
+        assert recovered.is_ransomware == trace.is_ransomware
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(trace, path)
+        recovered, dropped = load_report(path)
+        assert dropped == 0
+        assert recovered.calls == trace.calls
+
+
+class TestForeignReports:
+    def test_unknown_apis_dropped_and_counted(self):
+        report = {
+            "info": {"platform": "windows10", "custom": "Foreign/0"},
+            "behavior": {
+                "processes": [{
+                    "pid": 1,
+                    "calls": [
+                        {"api": "NtCreateFile"},
+                        {"api": "TotallyUnknownApi"},
+                        {"api": "NtWriteFile"},
+                    ],
+                }],
+            },
+        }
+        trace, dropped = report_to_trace(report)
+        assert dropped == 1
+        assert trace.calls == ("NtCreateFile", "NtWriteFile")
+        assert not trace.is_ransomware  # no repro metadata -> benign default
+
+    def test_multi_process_calls_concatenate(self):
+        report = {
+            "behavior": {
+                "processes": [
+                    {"pid": 1, "calls": [{"api": "NtCreateFile"}]},
+                    {"pid": 2, "calls": [{"api": "NtWriteFile"}]},
+                ],
+            },
+        }
+        trace, _ = report_to_trace(report)
+        assert trace.calls == ("NtCreateFile", "NtWriteFile")
+
+    def test_missing_behaviour_rejected(self):
+        with pytest.raises(ValueError, match="behavior"):
+            report_to_trace({"info": {}})
+
+    def test_empty_processes_rejected(self):
+        with pytest.raises(ValueError, match="no processes"):
+            report_to_trace({"behavior": {"processes": []}})
+
+    def test_all_unknown_calls_rejected(self):
+        report = {
+            "behavior": {"processes": [{"pid": 1, "calls": [{"api": "Nope"}]}]},
+        }
+        with pytest.raises(ValueError, match="no in-vocabulary"):
+            report_to_trace(report)
+
+    def test_windowing_foreign_trace(self, tmp_path):
+        """A foreign report flows into the standard windowing pipeline."""
+        from repro.ransomware.dataset import extract_windows
+
+        calls = [{"api": "NtReadFile"}, {"api": "NtWriteFile"}] * 120
+        report = {
+            "info": {"platform": "windows10", "custom": "Foreign/1"},
+            "behavior": {"processes": [{"pid": 1, "calls": calls}]},
+            "repro": {"is_ransomware": True, "variant": 1},
+        }
+        trace, _ = report_to_trace(report)
+        windows = extract_windows(trace, length=50, count=5)
+        assert len(windows) == 5

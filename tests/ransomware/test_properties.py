@@ -1,0 +1,122 @@
+"""Property-based tests on dataset and sandbox invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ransomware.api_vocabulary import VOCABULARY_SIZE, encode
+from repro.ransomware.benign import ALL_BENIGN_PROFILES
+from repro.ransomware.dataset import Dataset, _distribute, extract_windows
+from repro.ransomware.families import ALL_FAMILIES
+from repro.ransomware.sandbox import CuckooSandbox
+
+
+@pytest.fixture(scope="module")
+def sample_trace():
+    return CuckooSandbox(seed=2).execute_benign(
+        ALL_BENIGN_PROFILES[3], 0, target_length=1500
+    )
+
+
+class TestWindowProperties:
+    @given(
+        length=st.integers(min_value=1, max_value=200),
+        count=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_windows_are_contiguous_substrings(self, sample_trace, length, count):
+        tokens = encode(sample_trace.calls)
+        available = len(tokens) - length
+        if available < 0 or (count > 1 and available < count - 1):
+            with pytest.raises(ValueError):
+                extract_windows(sample_trace, length, count)
+            return
+        windows = extract_windows(sample_trace, length, count)
+        assert len(windows) == count
+        stride = 0 if count == 1 else available // (count - 1)
+        for index, window in enumerate(windows):
+            start = index * stride
+            assert window == tokens[start : start + length]
+
+    @given(count=st.integers(min_value=2, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_last_window_near_trace_end(self, sample_trace, count):
+        """Uncapped stride must spread windows over the whole execution."""
+        length = 100
+        windows = extract_windows(sample_trace, length, count)
+        tokens = encode(sample_trace.calls)
+        available = len(tokens) - length
+        stride = available // (count - 1)
+        last_start = (count - 1) * stride
+        # Uncovered tail is exactly the flooring remainder: < count - 1.
+        leftover = len(tokens) - (last_start + length)
+        assert leftover == available % (count - 1)
+        assert leftover < count - 1
+
+
+class TestDistributeProperties:
+    @given(
+        total=st.integers(min_value=1, max_value=50_000),
+        buckets=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_distribute_invariants(self, total, buckets):
+        if total < buckets:
+            with pytest.raises(ValueError):
+                _distribute(total, buckets)
+            return
+        parts = _distribute(total, buckets)
+        assert sum(parts) == total
+        assert len(parts) == buckets
+        assert min(parts) >= 1
+        assert max(parts) - min(parts) <= 1  # near-equal
+
+
+class TestDatasetProperties:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_shuffle_preserves_rows(self, tiny_dataset, seed):
+        shuffled = tiny_dataset.shuffled(seed)
+        assert len(shuffled) == len(tiny_dataset)
+        assert shuffled.labels.sum() == tiny_dataset.labels.sum()
+        # Row multiset preserved: sort both by a stable key.
+        original = np.sort(tiny_dataset.sequences.sum(axis=1) * 2 + tiny_dataset.labels)
+        permuted = np.sort(shuffled.sequences.sum(axis=1) * 2 + shuffled.labels)
+        np.testing.assert_array_equal(original, permuted)
+
+    @given(
+        fraction=st.floats(min_value=0.05, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_split_is_a_partition(self, tiny_dataset, fraction, seed):
+        train, test = tiny_dataset.train_test_split(fraction, seed=seed)
+        assert len(train) + len(test) == len(tiny_dataset)
+        assert len(train) > 0 and len(test) > 0
+
+    def test_all_tokens_in_vocabulary_range(self, tiny_dataset):
+        assert tiny_dataset.sequences.min() >= 0
+        assert tiny_dataset.sequences.max() < VOCABULARY_SIZE
+
+
+class TestSandboxProperties:
+    @given(
+        family_index=st.integers(min_value=0, max_value=len(ALL_FAMILIES) - 1),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_family_variant_zero_produces_valid_trace(self, family_index, seed):
+        family = ALL_FAMILIES[family_index]
+        trace = CuckooSandbox(seed=seed).execute_ransomware(family, 0)
+        assert trace.is_ransomware
+        assert len(trace) > 500
+        tokens = encode(trace.calls)  # raises if any call is unknown
+        assert max(tokens) < VOCABULARY_SIZE
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_traces_deterministic_in_seed(self, seed):
+        family = ALL_FAMILIES[seed % len(ALL_FAMILIES)]
+        a = CuckooSandbox(seed=seed).execute_ransomware(family, 0)
+        b = CuckooSandbox(seed=seed).execute_ransomware(family, 0)
+        assert a.calls == b.calls

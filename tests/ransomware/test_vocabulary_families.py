@@ -1,0 +1,137 @@
+"""Tests for the API vocabulary and the Table II family profiles."""
+
+import pytest
+
+from repro.ransomware.api_vocabulary import (
+    API_CATEGORIES,
+    API_NAMES,
+    API_TO_CATEGORY,
+    API_TO_ID,
+    CATEGORY_TOKEN_IDS,
+    VOCABULARY_SIZE,
+    decode,
+    encode,
+)
+from repro.ransomware.benign import ALL_BENIGN_PROFILES, MANUAL_INTERACTION
+from repro.ransomware.families import (
+    ALL_FAMILIES,
+    FamilyProfile,
+    Motif,
+    Phase,
+    TOTAL_VARIANTS,
+    table_ii,
+)
+
+
+class TestVocabulary:
+    def test_size_matches_paper_embedding(self):
+        # 2,224 embedding parameters at dim 8 -> exactly 278 tokens.
+        assert VOCABULARY_SIZE == 278
+        assert len(API_NAMES) == 278
+
+    def test_no_duplicates(self):
+        assert len(set(API_NAMES)) == len(API_NAMES)
+
+    def test_ids_are_dense(self):
+        assert sorted(API_TO_ID.values()) == list(range(278))
+
+    def test_every_name_categorised(self):
+        assert set(API_TO_CATEGORY) == set(API_NAMES)
+
+    def test_category_ids_partition_vocabulary(self):
+        all_ids = [i for ids in CATEGORY_TOKEN_IDS.values() for i in ids]
+        assert sorted(all_ids) == list(range(278))
+
+    def test_encode_decode_round_trip(self):
+        calls = ["CryptEncrypt", "NtWriteFile", "RegOpenKeyExW"]
+        assert decode(encode(calls)) == calls
+
+    def test_encode_unknown_raises(self):
+        with pytest.raises(KeyError):
+            encode(["NotARealApi"])
+
+    def test_crypto_category_has_the_encryption_calls(self):
+        crypto = API_CATEGORIES["crypto"]
+        assert "CryptEncrypt" in crypto
+        assert "BCryptEncrypt" in crypto
+
+
+class TestMotifAndPhase:
+    def test_all_motif_calls_in_vocabulary(self):
+        for family in ALL_FAMILIES:
+            for phase in family.phases:
+                for motif in phase.motifs:
+                    for call in motif.calls:
+                        assert call in API_TO_ID, (family.name, motif.name, call)
+
+    def test_all_phase_categories_valid(self):
+        for family in ALL_FAMILIES:
+            for phase in family.phases:
+                for category in phase.category_weights:
+                    assert category in API_CATEGORIES, (family.name, phase.name)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(name="bad", length=0, category_weights={"file": 1.0})
+        with pytest.raises(ValueError):
+            Phase(name="bad", length=5, category_weights={})
+        with pytest.raises(ValueError):
+            Phase(name="bad", length=5, category_weights={"file": 1.0},
+                  motif_probability=0.5)  # motifs missing
+
+    def test_family_validation(self):
+        with pytest.raises(ValueError):
+            FamilyProfile(name="x", variant_count=0, encrypts=True,
+                          self_propagates=False, phases=(Phase(
+                              name="p", length=5, category_weights={"file": 1.0}),))
+
+
+class TestTableII:
+    def test_ten_families(self):
+        assert len(ALL_FAMILIES) == 10
+
+    def test_variant_total_matches_table_ii(self):
+        # The paper's prose says "78 variants" but its own Table II rows
+        # sum to 76; we reproduce the table (see EXPERIMENTS.md).
+        assert TOTAL_VARIANTS == 76
+
+    def test_all_encrypt(self):
+        # "all aggregated variants encrypt files".
+        assert all(family.encrypts for family in ALL_FAMILIES)
+
+    def test_self_propagating_set(self):
+        propagating = {f.name for f in ALL_FAMILIES if f.self_propagates}
+        assert propagating == {"Ryuk", "Lockbit", "Wannacry", "BadRabbit"}
+
+    def test_exact_variant_counts(self):
+        counts = {f.name: f.variant_count for f in ALL_FAMILIES}
+        assert counts == {
+            "Ryuk": 5, "Lockbit": 6, "Teslacrypt": 10, "Virlock": 11,
+            "Cryptowall": 8, "Cerber": 9, "Wannacry": 7, "Locky": 6,
+            "Chimera": 9, "BadRabbit": 5,
+        }
+
+    def test_table_rows(self):
+        rows = table_ii()
+        assert rows[0] == ("Ryuk", 5, True, True)
+        assert len(rows) == 10
+
+
+class TestBenignProfiles:
+    def test_thirty_applications_plus_manual(self):
+        # Appendix A: 30 popular applications + manual interaction.
+        assert len(ALL_BENIGN_PROFILES) == 31
+        assert MANUAL_INTERACTION in ALL_BENIGN_PROFILES
+
+    def test_profile_phases_reference_valid_categories(self):
+        for profile in ALL_BENIGN_PROFILES:
+            for phase in (profile.startup,) + profile.work_phases:
+                for category in phase.category_weights:
+                    assert category in API_CATEGORIES
+                for motif in phase.motifs:
+                    for call in motif.calls:
+                        assert call in API_TO_ID
+
+    def test_unique_names(self):
+        names = [profile.name for profile in ALL_BENIGN_PROFILES]
+        assert len(set(names)) == len(names)

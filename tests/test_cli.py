@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.nn.serialization import dump_weights
+from repro.ransomware.dataset import load_csv
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dataset.csv"
+    exit_code = main([
+        "dataset", str(path), "--scale", "0.01", "--sequence-length", "30",
+        "--seed", "3",
+    ])
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def weights_path(tmp_path_factory, trained_model):
+    # Use the shared trained model: CLI train would work but is slow.
+    path = tmp_path_factory.mktemp("cli") / "weights.txt"
+    dump_weights(trained_model, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("dataset", "train", "evaluate", "scan", "report"):
+            assert command in text
+
+
+class TestDatasetCommand:
+    def test_writes_loadable_csv(self, csv_path):
+        dataset = load_csv(csv_path)
+        assert dataset.sequence_length == 30
+        assert 0.4 < dataset.ransomware_fraction < 0.5
+
+
+class TestTrainCommand:
+    def test_train_writes_weights(self, csv_path, tmp_path, capsys):
+        weights_out = tmp_path / "w.txt"
+        exit_code = main([
+            "train", str(csv_path), str(weights_out),
+            "--epochs", "2", "--batch-size", "32",
+        ])
+        assert exit_code == 0
+        assert weights_out.exists()
+        output = capsys.readouterr().out
+        assert "peak accuracy" in output
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_metrics(self, csv_path, tmp_path, capsys):
+        # Train a quick model on the same CSV so dimensions line up.
+        weights_out = tmp_path / "w.txt"
+        main(["train", str(csv_path), str(weights_out), "--epochs", "2"])
+        capsys.readouterr()
+        exit_code = main([
+            "evaluate", str(weights_out), str(csv_path), "--limit", "40",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "accuracy" in output
+        assert "per-item inference" in output
+
+
+class TestScanCommand:
+    def test_scan_detects_with_trained_weights(self, weights_path, capsys):
+        from tests.conftest import TEST_SEQUENCE_LENGTH
+
+        exit_code = main([
+            "scan", str(weights_path), "Lockbit", "--variant", "1",
+            "--sequence-length", str(TEST_SEQUENCE_LENGTH), "--stride", "10",
+        ])
+        output = capsys.readouterr().out
+        assert "Lockbit variant 1" in output
+        assert exit_code == 0
+        assert "DETECTED" in output
+
+
+class TestReportCommand:
+    def test_report_prints_utilisation_and_timing(self, capsys):
+        exit_code = main(["report", "--optimization", "FIXED_POINT"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Platform: xcu200" in output
+        assert "kernel_gates" in output
+        assert "TOTAL (per item)" in output
+
+    def test_report_vanilla_single_cu(self, capsys):
+        exit_code = main(["report", "--optimization", "VANILLA", "--gate-cus", "1"])
+        assert exit_code == 0
+        assert "1 gates CU" in capsys.readouterr().out
