@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.baselines.cpu import CpuInferenceBaseline
 from repro.baselines.gpu import GpuInferenceBaseline
 from repro.baselines.statistics import LatencySummary, normal_interval
@@ -33,6 +35,11 @@ class HardwareComparison:
     fpga: ComparisonRow
     cpu: ComparisonRow
     gpu: ComparisonRow
+    #: Max |engine - CPU baseline| probability over the cross-check batch
+    #: (None when no sample sequences were supplied).  The timing rows
+    #: compare *latency models*; this field confirms the three paths also
+    #: agree *functionally* on real inputs, using the engine's batch path.
+    functional_divergence: float | None = None
 
     @property
     def speedup_over_cpu(self) -> float:
@@ -62,6 +69,7 @@ def hardware_comparison(
     gpu: GpuInferenceBaseline,
     trials: int = 1000,
     seed: int = 0,
+    sample_sequences=None,
 ) -> HardwareComparison:
     """Measure all three devices and assemble Table I.
 
@@ -76,6 +84,13 @@ def hardware_comparison(
         Sample count for each baseline's latency distribution.
     seed:
         Base RNG seed (the GPU stream is offset so draws are independent).
+    sample_sequences:
+        Optional ``(N, T)`` batch of real token sequences.  When given,
+        the engine classifies them through its vectorised batch path and
+        the result is compared against the functional CPU baseline; the
+        max absolute probability divergence lands in
+        ``HardwareComparison.functional_divergence`` (expected ~0 for
+        float engines, small quantisation error for fixed-point ones).
     """
     fpga_row = ComparisonRow(
         device="FPGA",
@@ -85,10 +100,17 @@ def hardware_comparison(
     )
     cpu_summary = normal_interval(cpu.sample_per_item_latencies(trials, seed=seed))
     gpu_summary = normal_interval(gpu.sample_per_item_latencies(trials, seed=seed + 1))
+    divergence = None
+    if sample_sequences is not None:
+        batch = np.asarray(sample_sequences)
+        engine_probs = engine.infer_batch(batch).probabilities
+        cpu_probs = np.array([cpu.infer_sequence(row) for row in batch])
+        divergence = float(np.max(np.abs(engine_probs - cpu_probs)))
     return HardwareComparison(
         fpga=fpga_row,
         cpu=_row_from_summary("CPU", cpu_summary),
         gpu=_row_from_summary("GPU", gpu_summary),
+        functional_divergence=divergence,
     )
 
 
@@ -105,4 +127,9 @@ def format_table(comparison: HardwareComparison) -> str:
         f"speedup over CPU: {comparison.speedup_over_cpu:.1f}x, "
         f"over GPU: {comparison.speedup_over_gpu:.1f}x"
     )
+    if comparison.functional_divergence is not None:
+        lines.append(
+            "functional cross-check: max |engine - CPU| probability = "
+            f"{comparison.functional_divergence:.2e}"
+        )
     return "\n".join(lines)

@@ -11,6 +11,13 @@ arithmetic), alongside an :class:`~repro.core.timing.InferenceTiming`
 report.  In fixed-point mode the numerics go through the scale-10^6
 integer pipeline of :mod:`repro.fixedpoint`, so quantisation effects on
 detection accuracy are measurable, not assumed.
+
+``infer_batch`` runs the same forward pass vectorised across the batch
+dimension and is bit-exact with the sequential path at every optimisation
+level.  Batching accelerates the *host simulation* only: the reported
+:class:`~repro.core.timing.InferenceTiming` stays the per-sequence
+simulated hardware time, because the modeled FPGA processes sequences
+item by item regardless of how the simulation is scheduled.
 """
 
 from __future__ import annotations
@@ -40,6 +47,32 @@ class InferenceResult:
     def is_ransomware(self) -> bool:
         """Convenience threshold at 0.5 (the detector may re-threshold)."""
         return self.probability >= 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchInferenceResult:
+    """Outcome of one batched inference call.
+
+    ``timing`` is the **per-sequence** simulated hardware time: the modeled
+    FPGA runs sequences item by item, so each sequence in the batch costs
+    the same simulated latency it would cost alone.  Batching speeds up the
+    *host simulation* (one NumPy pass instead of N Python loops), which is
+    a throughput claim about this reproduction, not about the hardware.
+    """
+
+    probabilities: np.ndarray
+    timing: InferenceTiming
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.probabilities.shape[0])
+
+    def results(self) -> list:
+        """Per-sequence :class:`InferenceResult` views of this batch."""
+        return [
+            InferenceResult(probability=float(p), timing=self.timing)
+            for p in self.probabilities
+        ]
 
 
 class CSDInferenceEngine:
@@ -203,13 +236,18 @@ class CSDInferenceEngine:
                 "from_weight_file or call load_weights"
             )
 
-    def _initial_hidden(self) -> np.ndarray:
+    def _initial_hidden(self, batch_size: int | None = None) -> np.ndarray:
         hidden = self.config.dimensions.hidden_size
         dtype = np.int64 if self.config.optimization.uses_fixed_point else np.float64
-        return np.zeros(hidden, dtype=dtype)
+        shape = hidden if batch_size is None else (batch_size, hidden)
+        return np.zeros(shape, dtype=dtype)
 
     def infer_sequence(self, token_ids) -> InferenceResult:
         """Classify one sequence, returning probability and timing.
+
+        Delegates to :meth:`infer_batch` with a batch of one; the batched
+        kernels are bit-exact with the historical per-token loop at every
+        optimisation level (see ``tests/core/test_batch_parity.py``).
 
         Parameters
         ----------
@@ -224,47 +262,103 @@ class CSDInferenceEngine:
                 f"expected a fully-formed sequence of {expected} items, got "
                 f"shape {tokens.shape}"
             )
+        batch = self.infer_batch(tokens[np.newaxis, :])
+        return InferenceResult(
+            probability=float(batch.probabilities[0]), timing=batch.timing
+        )
 
-        self.hidden_state.reset()
-        hidden_prev = self._initial_hidden()
-        prediction = None
-        for token in tokens:
-            embedding_copies = self.preprocess.run(int(token))
-            gate_outputs = self.gates.run(hidden_prev, embedding_copies)
-            hidden_copies, prediction = self.hidden_state.run(gate_outputs)
-            hidden_prev = hidden_copies[0]
-        if prediction is None:
-            raise AssertionError("sequence completed without a classification")
+    def infer_batch(self, sequences) -> BatchInferenceResult:
+        """Classify a batch of sequences in one vectorised forward pass.
+
+        The LSTM runs once across the whole batch — a single embedding
+        gather, one stacked ``(4H, H+E)`` gate matmul per timestep, and an
+        element-wise cell/hidden update over ``(N, H)`` arrays — in float
+        or scale-10^6 fixed-point arithmetic.  Probabilities are bit-exact
+        with running :meth:`infer_sequence` on each row.
+
+        The returned ``timing`` is the per-sequence simulated hardware
+        time (identical for every sequence of the batch): batching is a
+        host-simulation speedup, not a hardware claim.  AXI and
+        sequence counters advance exactly as N sequential calls would.
+
+        Parameters
+        ----------
+        sequences:
+            Integer array of shape ``(N, sequence_length)`` with ``N >= 1``.
+        """
+        self._require_loaded()
+        batch = np.asarray(sequences, dtype=np.int64)
+        expected = self.config.dimensions.sequence_length
+        if batch.ndim != 2 or batch.shape[1] != expected:
+            raise ValueError(
+                f"expected a (N, {expected}) batch of fully-formed sequences, "
+                f"got shape {batch.shape}"
+            )
+        if batch.shape[0] == 0:
+            raise ValueError("batch must contain at least one sequence")
+
+        embedded = self.preprocess.run_batch(batch)  # (N, T, E)
+        self.hidden_state.reset(batch_size=batch.shape[0])
+        hidden_prev = self._initial_hidden(batch_size=batch.shape[0])
+        predictions = None
+        for step in range(expected):
+            gate_outputs = self.gates.run_batch(hidden_prev, embedded[:, step, :])
+            hidden_prev, predictions = self.hidden_state.run_batch(gate_outputs)
+        if predictions is None:
+            raise AssertionError("batch completed without classifications")
 
         timing = build_inference_timing(
             self.config,
-            self.preprocess.timing(),
+            self.preprocess.timing(),  # charges one sequence's AXI fetch
             self.gates.timing(),
             self.hidden_state.timing(),
             self.hidden_state.classification_cycles(),
             self.device.clock,
         )
-        self.sequences_processed += 1
-        return InferenceResult(probability=float(prediction), timing=timing)
+        self.preprocess.account_batch_fetches(batch.shape[0] - 1)
+        self.sequences_processed += batch.shape[0]
+        return BatchInferenceResult(
+            probabilities=np.asarray(predictions, dtype=np.float64), timing=timing
+        )
 
     def infer_from_storage(self, key: str, token_ids) -> tuple:
         """Fetch a sequence from the attached SmartSSD via P2P, then infer.
 
         Returns ``(InferenceResult, transfer_seconds)``.  The sequence must
-        previously have been written to the SSD under ``key``.
+        previously have been written to the SSD under ``key``.  The FPGA
+        DRAM reserved for the fetched input is released once inference
+        completes, so long-running engines can fetch indefinitely.
         """
         if self.storage is None:
             raise RuntimeError("no SmartSSD attached; call attach_storage first")
         transfer_seconds = self.storage.p2p_fetch(key)
-        result = self.infer_sequence(token_ids)
+        fetched_bytes = self.storage.transfers[-1].num_bytes
+        try:
+            result = self.infer_sequence(token_ids)
+        finally:
+            self.storage.release_fpga_dram(fetched_bytes)
         return result, transfer_seconds
 
-    def predict_proba(self, sequences) -> np.ndarray:
-        """Probabilities for a batch of sequences, shape ``(N,)``."""
+    def predict_proba(self, sequences, chunk_size: int = 1024) -> np.ndarray:
+        """Probabilities for a batch of sequences, shape ``(N,)``.
+
+        Runs :meth:`infer_batch` over ``chunk_size``-sequence slices to
+        bound the float path's ``(chunk, 4H, H+E)`` broadcast temporary;
+        chunking cannot change any value (rows are independent).
+        """
         sequences = np.asarray(sequences)
         if sequences.ndim != 2:
             raise ValueError(f"expected (N, T) batch, got shape {sequences.shape}")
-        return np.array([self.infer_sequence(row).probability for row in sequences])
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if sequences.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(
+            [
+                self.infer_batch(sequences[start:start + chunk_size]).probabilities
+                for start in range(0, sequences.shape[0], chunk_size)
+            ]
+        )
 
     def predict(self, sequences, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 predictions for a batch of sequences."""
@@ -281,14 +375,15 @@ class CSDInferenceEngine:
         through the preprocess AXI master, memory and fabric occupancy.
         """
         items = self.sequences_processed * self.config.dimensions.sequence_length
+        utilization = self.device.utilization()
         return {
             "sequences_processed": self.sequences_processed,
             "items_processed": items,
             "axi_bytes_read": self.preprocess.axi.bytes_transferred,
             "axi_transfers": self.preprocess.axi.transfer_count,
             "ddr_bytes_allocated": self.device.ddr.total_allocated(),
-            "dsp_utilization": self.device.utilization()["dsp_slices"],
-            "lut_utilization": self.device.utilization()["luts"],
+            "dsp_utilization": utilization["dsp_slices"],
+            "lut_utilization": utilization["luts"],
             "optimization": self.config.optimization.name,
         }
 

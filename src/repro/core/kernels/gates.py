@@ -38,7 +38,7 @@ from repro.core.config import EngineConfig, GATE_NAMES
 from repro.core.kernels.base import Kernel, KernelTiming
 from repro.core.weights import HostWeights, QuantizedHostWeights
 from repro.fixedpoint.activations import qsigmoid, qsoftsign
-from repro.fixedpoint.ops import qaffine
+from repro.fixedpoint.ops import qadd, qaffine, qmatmul
 from repro.hw.hls import DataflowRegion, FIXED_OPS, FLOAT_OPS, HlsLoop, LoopNest, PragmaSet
 
 #: Activation used by each gate in the deployed design.
@@ -65,6 +65,19 @@ def _float_softsign(x: np.ndarray) -> np.ndarray:
     return softsign(x)
 
 
+def _affine_rows(matrix: np.ndarray, rows: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Float affine ``rows @ matrix.T + bias`` with a batch-stable reduction.
+
+    ``np.sum``'s pairwise reduction over the last axis depends only on the
+    fan-in, so row ``n`` of the result is bit-identical whether computed in
+    a batch of 1 or of N.  BLAS gives no such guarantee — ``matrix @ vector``
+    (gemv) and ``matrix @ batch`` (gemm) round differently — so both the
+    sequential and batched float gate paths route through this helper to
+    keep :meth:`GatesKernel.run_batch` exactly equal to :meth:`GatesKernel.run`.
+    """
+    return np.sum(matrix[np.newaxis, :, :] * rows[:, np.newaxis, :], axis=2) + bias
+
+
 class GatesKernel(Kernel):
     """All ``kernel_gates`` compute units of the engine."""
 
@@ -74,6 +87,10 @@ class GatesKernel(Kernel):
         super().__init__(config)
         self._weights: HostWeights | None = None
         self._quantized: QuantizedHostWeights | None = None
+        # Stacked (4H, H+E) weight matrix / (4H,) bias in GATE_NAMES order,
+        # built at load time for the batched path.
+        self._stacked_float: tuple | None = None
+        self._stacked_fixed: tuple | None = None
 
     # ------------------------------------------------------------------
     # Function
@@ -82,10 +99,18 @@ class GatesKernel(Kernel):
     def load_weights(self, weights: HostWeights, quantized: QuantizedHostWeights | None) -> None:
         """Receive gate matrices and biases from the host program."""
         self._weights = weights
+        self._stacked_float = (
+            np.concatenate([weights.gates[g].matrix for g in GATE_NAMES], axis=0),
+            np.concatenate([weights.gates[g].bias for g in GATE_NAMES]),
+        )
         if self.config.optimization.uses_fixed_point:
             if quantized is None:
                 raise ValueError("fixed-point mode requires quantised weights")
             self._quantized = quantized
+            self._stacked_fixed = (
+                np.concatenate([quantized.gates[g].matrix for g in GATE_NAMES], axis=0),
+                np.concatenate([quantized.gates[g].bias for g in GATE_NAMES]),
+            )
 
     def run(self, hidden_prev: np.ndarray, embedding_copies: list) -> dict:
         """Evaluate all four gates for one item.
@@ -124,12 +149,62 @@ class GatesKernel(Kernel):
                     outputs[gate] = qsoftsign(pre, self._quantized.fmt)
             else:
                 params = self._weights.gates[gate]
-                pre = params.matrix @ concatenated + params.bias
+                pre = _affine_rows(params.matrix, concatenated[np.newaxis, :], params.bias)[0]
                 if GATE_ACTIVATIONS[gate] == "sigmoid":
                     outputs[gate] = _float_sigmoid(pre)
                 else:
                     outputs[gate] = _float_softsign(pre)
         return outputs
+
+    def run_batch(self, hidden_prev: np.ndarray, x_t: np.ndarray) -> dict:
+        """Evaluate all four gates for one timestep of a whole batch.
+
+        The four per-gate CU affines collapse into a single stacked
+        ``(4H, H+E)`` product against the ``(N, H+E)`` concatenated inputs
+        — one matmul per timestep instead of ``4 N`` mat-vecs.  Results are
+        bit-exact with :meth:`run` applied row by row: the fixed-point path
+        accumulates the identical int64 dot products before the single
+        rescale, and the float path shares :func:`_affine_rows`' batch-
+        stable reduction.
+
+        Parameters
+        ----------
+        hidden_prev:
+            ``h_{t-1}`` for every sequence, shape ``(N, H)``.
+        x_t:
+            This timestep's embeddings, shape ``(N, E)``.
+
+        Returns
+        -------
+        dict
+            Gate name → activated ``(N, H)`` array.
+        """
+        hidden_size = self.config.dimensions.hidden_size
+        concatenated = np.concatenate([hidden_prev, x_t], axis=1)
+        if self.config.optimization.uses_fixed_point:
+            if self._stacked_fixed is None:
+                raise RuntimeError("load_weights must be called before run_batch")
+            stacked, bias = self._stacked_fixed
+            fmt = self._quantized.fmt
+            pre = qadd(qmatmul(concatenated, stacked.T, fmt), bias)
+            activate = {"sigmoid": qsigmoid, "softsign": qsoftsign}
+            return {
+                gate: activate[GATE_ACTIVATIONS[gate]](
+                    pre[:, index * hidden_size:(index + 1) * hidden_size], fmt
+                )
+                for index, gate in enumerate(GATE_NAMES)
+            }
+        if self._stacked_float is None:
+            raise RuntimeError("load_weights must be called before run_batch")
+        stacked, bias = self._stacked_float
+        pre = _affine_rows(stacked, concatenated, bias)
+        activate = {"sigmoid": _float_sigmoid, "softsign": _float_softsign}
+        return {
+            gate: activate[GATE_ACTIVATIONS[gate]](
+                pre[:, index * hidden_size:(index + 1) * hidden_size]
+            )
+            for index, gate in enumerate(GATE_NAMES)
+        }
 
     # ------------------------------------------------------------------
     # Timing

@@ -32,7 +32,7 @@ from repro.core.config import EngineConfig
 from repro.core.kernels.base import Kernel, KernelTiming
 from repro.core.weights import HostWeights, QuantizedHostWeights
 from repro.fixedpoint.activations import qsigmoid, qsoftsign
-from repro.fixedpoint.ops import qadd, qdot, qmul
+from repro.fixedpoint.ops import qadd, qmatvec, qmul
 from repro.hw.hls import FIXED_OPS, FLOAT_OPS, HlsLoop, LoopNest, PragmaSet, VANILLA_PRAGMAS
 from repro.nn.activations import sigmoid as float_sigmoid
 from repro.nn.activations import softsign as float_softsign
@@ -63,11 +63,17 @@ class HiddenStateKernel(Kernel):
             self._quantized = quantized
         self.reset()
 
-    def reset(self) -> None:
-        """Zero the cell state and item counter (start of a sequence)."""
+    def reset(self, batch_size: int | None = None) -> None:
+        """Zero the cell state and item counter (start of a sequence).
+
+        With ``batch_size=None`` the cell keeps the streaming ``(H,)``
+        shape used by :meth:`run`; an integer allocates a ``(batch, H)``
+        cell for :meth:`run_batch`.
+        """
         hidden = self.config.dimensions.hidden_size
         dtype = np.int64 if self.config.optimization.uses_fixed_point else np.float64
-        self._cell = np.zeros(hidden, dtype=dtype)
+        shape = hidden if batch_size is None else (batch_size, hidden)
+        self._cell = np.zeros(shape, dtype=dtype)
         self._counter = 0
 
     @property
@@ -111,16 +117,67 @@ class HiddenStateKernel(Kernel):
         copies = [hidden.copy() for _ in range(self.config.num_gate_cus)]
         return copies, prediction
 
+    def run_batch(self, gates: dict) -> tuple:
+        """Consume one timestep's gate outputs for a whole batch.
+
+        Same update as :meth:`run` with every operand shaped ``(N, H)``
+        (the cell must have been allocated with ``reset(batch_size=N)``).
+        All arithmetic is element-wise, so each row is bit-identical to the
+        sequential update of that sequence.
+
+        Returns
+        -------
+        tuple
+            ``(hidden, predictions)`` — the ``(N, H)`` hidden state, and
+            the ``(N,)`` classification probabilities if this timestep
+            completed the sequences (else ``None``).
+        """
+        if self._cell is None:
+            raise RuntimeError("load_weights must be called before run_batch")
+        fixed = self.config.optimization.uses_fixed_point
+        i_t, f_t, o_t, c_bar = gates["i"], gates["f"], gates["o"], gates["c"]
+
+        if fixed:
+            fmt = self._quantized.fmt
+            self._cell = qadd(qmul(f_t, self._cell, fmt), qmul(i_t, c_bar, fmt))
+            hidden = qmul(o_t, qsoftsign(self._cell, fmt), fmt)
+        else:
+            self._cell = f_t * self._cell + i_t * c_bar
+            hidden = o_t * float_softsign(self._cell)
+
+        self._counter += 1
+        predictions = None
+        if self._counter >= self.config.dimensions.sequence_length:
+            predictions = self.classify_batch(hidden)
+        return hidden, predictions
+
     def _classify(self, hidden: np.ndarray) -> float:
         """Map the final hidden state to a ransomware probability."""
+        return float(self.classify_batch(hidden[np.newaxis, :])[0])
+
+    def classify_batch(self, hidden: np.ndarray) -> np.ndarray:
+        """FC head + sigmoid over a ``(N, H)`` batch of final hidden states.
+
+        The sequential :meth:`_classify` routes through this with ``N=1``:
+        the fixed-point path is exact by construction (int64 dot products),
+        and the float path uses the same ``np.sum`` reduction for every
+        batch size, so per-row results are bit-identical either way.
+        """
         if self.config.optimization.uses_fixed_point:
             fmt = self._quantized.fmt
-            logit = qadd(
-                qdot(self._quantized.fc_weights, hidden, fmt), self._quantized.fc_bias
+            logits = qadd(
+                qmatvec(hidden, self._quantized.fc_weights, fmt),
+                self._quantized.fc_bias,
             )
-            return float(fmt.dequantize(qsigmoid(logit, fmt)))
-        logit = float(self._weights.fc_weights @ hidden + self._weights.fc_bias)
-        return float(float_sigmoid(np.asarray([logit]))[0])
+            return np.asarray(
+                fmt.dequantize(qsigmoid(np.asarray(logits, dtype=np.int64), fmt)),
+                dtype=np.float64,
+            )
+        logits = (
+            np.sum(self._weights.fc_weights * hidden, axis=-1)
+            + self._weights.fc_bias
+        )
+        return float_sigmoid(logits)
 
     # ------------------------------------------------------------------
     # Timing

@@ -75,6 +75,48 @@ class PreprocessKernel(Kernel):
         embedding = table[token_id]
         return [embedding.copy() for _ in range(self.config.num_gate_cus)]
 
+    def run_batch(self, token_ids: np.ndarray) -> np.ndarray:
+        """Embed a whole batch of sequences in one gather.
+
+        ``token_ids`` may have any shape (typically ``(N, T)``); the result
+        appends the embedding dimension: ``token_ids.shape + (E,)``.  The
+        batch path needs no per-CU fan-out — the four gate affines collapse
+        into one stacked matmul, so a single embedding view serves them all.
+        Values are identical to :meth:`run`'s per-token lookups.
+        """
+        table = (
+            self._embedding_fixed
+            if self.config.optimization.uses_fixed_point
+            else self._embedding_float
+        )
+        if table is None:
+            raise RuntimeError("load_embeddings must be called before run_batch")
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        if tokens.size:
+            out_of_range = (tokens < 0) | (tokens >= table.shape[0])
+            if np.any(out_of_range):
+                bad = int(tokens[out_of_range].ravel()[0])
+                raise ValueError(
+                    f"token id {bad} out of range [0, {table.shape[0]})"
+                )
+        return table[tokens]
+
+    def account_batch_fetches(self, count: int) -> None:
+        """Record AXI read traffic for ``count`` additional sequences.
+
+        The sequential path charges one embedding-row burst per sequence
+        when :meth:`timing` calls ``axi.read_cycles``; a batched call
+        builds timing once for the whole batch, so the remaining
+        ``count`` sequences' fetches are accounted here to keep the AXI
+        byte/transfer counters identical to ``count + 1`` sequential runs.
+        """
+        if count <= 0:
+            return
+        dims = self.config.dimensions
+        bytes_per_value = 8 if self.config.optimization.uses_fixed_point else 4
+        self.axi.bytes_transferred += count * dims.embedding_dim * bytes_per_value
+        self.axi.transfer_count += count
+
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------

@@ -6,17 +6,28 @@ after every multiplication and exp-free activation functions.
 """
 
 from repro.fixedpoint.activations import qsigmoid, qsoftsign, qtanh
-from repro.fixedpoint.ops import qadd, qaffine, qdot, qmatvec, qmul, qsub
+from repro.fixedpoint.ops import (
+    FixedPointOverflowError,
+    qadd,
+    qaffine,
+    qdot,
+    qmatmul,
+    qmatvec,
+    qmul,
+    qsub,
+)
 from repro.fixedpoint.qformat import PAPER_QFORMAT, PAPER_SCALE_FACTOR, QFormat
 from repro.fixedpoint.saturation import (
     AuditResult,
     OverflowAudit,
     headroom_bits,
     qsaturate,
+    rescale_saturation_limit,
 )
 
 __all__ = [
     "AuditResult",
+    "FixedPointOverflowError",
     "OverflowAudit",
     "PAPER_QFORMAT",
     "PAPER_SCALE_FACTOR",
@@ -25,6 +36,7 @@ __all__ = [
     "qadd",
     "qaffine",
     "qdot",
+    "qmatmul",
     "qmatvec",
     "qmul",
     "qsaturate",
@@ -32,4 +44,5 @@ __all__ = [
     "qsoftsign",
     "qsub",
     "qtanh",
+    "rescale_saturation_limit",
 ]

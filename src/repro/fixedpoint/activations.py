@@ -29,14 +29,21 @@ def _rounded_elementwise_division(numerator, denominator):
     """Round-half-away-from-zero division with array denominators.
 
     ``denominator`` must be positive (softsign's ``|x| + 1`` always is).
+    Overflow-free for every representable numerator: rounding is carried on
+    the division remainder instead of pre-adding ``denominator // 2``,
+    which would wrap near the int64 limit (e.g. the softsign numerator of
+    a saturated cell state).
     """
     numerator = np.asarray(numerator, dtype=np.int64)
     denominator = np.asarray(denominator, dtype=np.int64)
-    half = denominator // 2
-    adjusted = np.where(numerator >= 0, numerator + half, numerator - half)
-    result = np.where(
-        numerator >= 0, adjusted // denominator, -((-adjusted) // denominator)
+    magnitude = np.abs(
+        np.where(numerator == np.iinfo(np.int64).min,
+                 np.iinfo(np.int64).min + 1, numerator)
     )
+    quotient = magnitude // denominator
+    remainder = magnitude - quotient * denominator
+    rounded = quotient + (remainder >= denominator - denominator // 2)
+    result = np.where(numerator < 0, -rounded, rounded)
     if result.ndim == 0:
         return int(result)
     return result

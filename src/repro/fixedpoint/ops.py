@@ -13,6 +13,17 @@ truncation, matching the paper's emphasis on rounding to minimise finite
 precision error.  Plain floor division would bias every product toward
 negative infinity and the bias compounds over the 100 timesteps of a
 sequence.
+
+Overflow handling
+-----------------
+NumPy int64 arithmetic is modular: a product or accumulation past
+``2**63 - 1`` silently wraps, flipping sign and magnitude.  Real DSP
+cascades saturate instead.  :func:`qmul`, :func:`qmatvec`, :func:`qmatmul`
+and :func:`qdot` therefore detect wide-accumulator overflow and, by
+default, saturate the rescaled result to the largest in-format magnitude
+(``on_overflow="saturate"``); pass ``on_overflow="raise"`` to get a
+:class:`FixedPointOverflowError` instead.  In-range inputs are bit-exactly
+unaffected by the detection machinery.
 """
 
 from __future__ import annotations
@@ -20,6 +31,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.saturation import rescale_saturation_limit
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+#: Conservative screening threshold: any product/accumulation whose
+#: float64-estimated magnitude stays below this cannot have wrapped int64
+#: (float64 holds ~15.9 significant digits; 2**62 leaves a full bit of
+#: slack under 2**63 - 1 for the estimate's own rounding error).
+_SAFE_MAGNITUDE = float(2**62)
+
+
+class FixedPointOverflowError(OverflowError):
+    """A fixed-point product or accumulation exceeded the int64 range."""
 
 
 def _rounded_scale_division(product, scale: int):
@@ -27,18 +52,19 @@ def _rounded_scale_division(product, scale: int):
 
     Implements round-half-away-from-zero using integer arithmetic only, as
     DSP post-processing logic would on the FPGA.  Works element-wise on
-    arrays and on Python/NumPy integer scalars.
+    arrays and on Python/NumPy integer scalars.  Overflow-free for every
+    representable input: the rounding is carried on the division remainder
+    rather than by adding ``scale // 2`` to the operand, which would wrap
+    for magnitudes within ``scale // 2`` of the int64 limit.
     """
     product = np.asarray(product, dtype=np.int64)
-    half = scale // 2
-    adjusted = np.where(product >= 0, product + half, product - half)
-    result = adjusted // scale
-    # Negative operands: Python's floor division rounds toward -inf, so the
-    # "away from zero" adjustment above needs a truncating divide instead.
-    negative = product < 0
-    if np.any(negative):
-        trunc = -((-adjusted) // scale)
-        result = np.where(negative, trunc, result)
+    # abs(INT64_MIN) wraps; nudging by one only affects that single
+    # unreachable-in-format value and keeps the magnitude math exact.
+    magnitude = np.abs(np.where(product == _INT64_MIN, _INT64_MIN + 1, product))
+    quotient = magnitude // scale
+    remainder = magnitude - quotient * scale
+    rounded = quotient + (remainder >= scale - scale // 2)
+    result = np.where(product < 0, -rounded, rounded)
     if result.ndim == 0:
         return int(result)
     return result
@@ -60,17 +86,102 @@ def qsub(a, b):
     return result
 
 
-def qmul(a, b, fmt: QFormat):
+def _saturate_rescaled(rescaled, wrapped, negative, fmt: QFormat,
+                       on_overflow: str, context: str):
+    """Patch ``rescaled`` entries flagged ``wrapped`` with the saturation
+    limit (sign taken from ``negative``), or raise."""
+    if on_overflow == "raise":
+        raise FixedPointOverflowError(
+            f"{context}: {int(np.count_nonzero(wrapped))} element(s) exceeded "
+            f"the int64 accumulator range at scale {fmt.scale}"
+        )
+    if on_overflow != "saturate":
+        raise ValueError(
+            f"on_overflow must be 'saturate' or 'raise', got {on_overflow!r}"
+        )
+    limit = rescale_saturation_limit(fmt)
+    saturated = np.where(negative, -limit, limit)
+    return np.where(wrapped, saturated, np.asarray(rescaled, dtype=np.int64))
+
+
+def qmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
     """Multiply two in-format quantised values and rescale.
 
     The raw product carries ``scale**2``; the result is corrected back to a
-    single ``scale`` with rounded division.
+    single ``scale`` with rounded division.  Products that would wrap int64
+    saturate to the largest in-format magnitude (or raise, per
+    ``on_overflow``).
     """
-    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
-    return _rounded_scale_division(product, fmt.scale)
+    a64 = np.asarray(a, dtype=np.int64)
+    b64 = np.asarray(b, dtype=np.int64)
+    product = a64 * b64
+    max_estimate = 0.0
+    if a64.size and b64.size:
+        max_estimate = float(np.max(np.abs(a64.astype(np.float64)))) * float(
+            np.max(np.abs(b64.astype(np.float64)))
+        )
+    if max_estimate < _SAFE_MAGNITUDE:
+        return _rounded_scale_division(product, fmt.scale)
+
+    # Suspect range: recompute exactly with arbitrary-precision ints.
+    wide_a, wide_b = np.broadcast_arrays(a64, b64)
+    exact = wide_a.astype(object) * wide_b.astype(object)
+    wrapped = np.asarray((exact > _INT64_MAX) | (exact < _INT64_MIN), dtype=bool)
+    if not np.any(wrapped):
+        return _rounded_scale_division(product, fmt.scale)
+    rescaled = _rounded_scale_division(np.where(wrapped, 0, product), fmt.scale)
+    result = _saturate_rescaled(
+        rescaled, wrapped, np.asarray(exact < 0, dtype=bool), fmt, on_overflow,
+        "qmul",
+    )
+    if result.ndim == 0:
+        return int(result)
+    return result
 
 
-def qmatvec(matrix, vector, fmt: QFormat):
+def _wide_accumulate_rescale(matrix, other, fmt: QFormat, on_overflow: str,
+                             context: str):
+    """Shared core of the MAC-style ops: int64 ``matrix @ other`` accumulated
+    at full ``scale**2`` width, overflow-checked, then rescaled once.
+
+    Both operands must already be validated int64 2-D arrays with matching
+    inner dimensions.  Returns the rescaled int64 result of shape
+    ``(matrix.shape[0], other.shape[1])``.
+    """
+    accumulated = matrix @ other
+
+    # Cheap screen first: if no element-count-scaled product can reach the
+    # danger zone, skip the bound matmul entirely (the hot path).
+    inner = matrix.shape[1]
+    max_m = float(np.max(np.abs(matrix.astype(np.float64)), initial=0.0))
+    max_o = float(np.max(np.abs(other.astype(np.float64)), initial=0.0))
+    if max_m * max_o * max(inner, 1) < _SAFE_MAGNITUDE:
+        return _rounded_scale_division(accumulated, fmt.scale)
+
+    # Tighter per-element bound: sum_j |m_ij| * |o_jk| >= |sum_j m_ij o_jk|.
+    bound = np.abs(matrix.astype(np.float64)) @ np.abs(other.astype(np.float64))
+    suspect = bound >= _SAFE_MAGNITUDE
+    if not np.any(suspect):
+        return _rounded_scale_division(accumulated, fmt.scale)
+
+    # Recompute only the suspect elements exactly with Python ints.
+    matrix_obj = matrix.astype(object)
+    other_obj = other.astype(object)
+    wrapped = np.zeros(accumulated.shape, dtype=bool)
+    negative = np.zeros(accumulated.shape, dtype=bool)
+    for row, col in np.argwhere(suspect):
+        exact = int(matrix_obj[row] @ other_obj[:, col])
+        if not _INT64_MIN <= exact <= _INT64_MAX:
+            wrapped[row, col] = True
+            negative[row, col] = exact < 0
+    if not np.any(wrapped):
+        return _rounded_scale_division(accumulated, fmt.scale)
+    rescaled = _rounded_scale_division(np.where(wrapped, 0, accumulated), fmt.scale)
+    return _saturate_rescaled(rescaled, wrapped, negative, fmt, on_overflow,
+                              context)
+
+
+def qmatvec(matrix, vector, fmt: QFormat, on_overflow: str = "saturate"):
     """Fixed-point matrix-vector product.
 
     Accumulation happens at full ``scale**2`` precision (int64), mirroring
@@ -89,24 +200,52 @@ def qmatvec(matrix, vector, fmt: QFormat):
         raise ValueError(
             f"shape mismatch: matrix {matrix.shape} x vector {vector.shape}"
         )
-    accumulated = matrix @ vector
-    return _rounded_scale_division(accumulated, fmt.scale)
+    return _wide_accumulate_rescale(
+        matrix, vector[:, np.newaxis], fmt, on_overflow, "qmatvec"
+    )[:, 0]
 
 
-def qdot(a, b, fmt: QFormat):
+def qmatmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
+    """Fixed-point matrix-matrix product ``a @ b``, rescaled once.
+
+    Both operands are in-format 2-D int64 arrays; each output element is a
+    wide dot-product accumulation rescaled by a single factor of the scale
+    — element-for-element identical to the corresponding :func:`qmatvec`
+    over each column of ``b`` (int64 accumulation is exact, so the batched
+    layout cannot change any value).  This is the batched-gate workhorse:
+    the four per-gate CU affines collapse into one
+    ``(4H, H+E) @ (H+E, N)`` product per timestep.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"expected 2-D operands, got {a.shape} and {b.shape}")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    return _wide_accumulate_rescale(a, b, fmt, on_overflow, "qmatmul")
+
+
+def qdot(a, b, fmt: QFormat, on_overflow: str = "saturate"):
     """Fixed-point dot product of two 1-D quantised vectors."""
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     if a.shape != b.shape or a.ndim != 1:
         raise ValueError(f"expected matching 1-D vectors, got {a.shape} and {b.shape}")
-    return _rounded_scale_division(int(a @ b), fmt.scale)
+    return int(
+        _wide_accumulate_rescale(
+            a[np.newaxis, :], b[:, np.newaxis], fmt, on_overflow, "qdot"
+        )[0, 0]
+    )
 
 
-def qaffine(matrix, vector, bias, fmt: QFormat):
+def qaffine(matrix, vector, bias, fmt: QFormat, on_overflow: str = "saturate"):
     """Fixed-point affine transform ``matrix @ vector + bias``.
 
     This is the core computation of every LSTM gate: the weight matrix
     multiplies the concatenated ``[h_{t-1}, x_t]`` input and the bias is
     added in-format after the product rescale.
     """
-    return qadd(qmatvec(matrix, vector, fmt), np.asarray(bias, dtype=np.int64))
+    return qadd(
+        qmatvec(matrix, vector, fmt, on_overflow=on_overflow),
+        np.asarray(bias, dtype=np.int64),
+    )

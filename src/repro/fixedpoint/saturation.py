@@ -38,6 +38,21 @@ def qsaturate(q, bits: int):
     return result
 
 
+def rescale_saturation_limit(fmt: QFormat, accumulator_bits: int = 64) -> int:
+    """Largest post-rescale magnitude whose re-widened product still fits.
+
+    Overflowed wide accumulations saturate to this value so that any
+    *subsequent* in-format operation that re-multiplies by the scale (e.g.
+    the softsign numerator ``q * scale``) stays inside the
+    ``accumulator_bits``-wide signed range instead of wrapping again.
+    """
+    if not 8 <= accumulator_bits <= 64:
+        raise ValueError(
+            f"accumulator_bits must be in [8, 64], got {accumulator_bits}"
+        )
+    return ((1 << (accumulator_bits - 1)) - 1) // fmt.scale
+
+
 def headroom_bits(q, bits: int) -> int:
     """Unused sign-magnitude bits of ``q`` inside a ``bits``-wide word.
 

@@ -5,15 +5,18 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.fixedpoint.ops import (
+    FixedPointOverflowError,
     _rounded_scale_division,
     qadd,
     qaffine,
     qdot,
+    qmatmul,
     qmatvec,
     qmul,
     qsub,
 )
 from repro.fixedpoint.qformat import PAPER_QFORMAT, QFormat
+from repro.fixedpoint.saturation import rescale_saturation_limit
 
 FMT = PAPER_QFORMAT
 
@@ -116,6 +119,110 @@ class TestDotAndAffine:
         expected = matrix @ vector + bias
         actual = dq(qaffine(q(matrix), q(vector), q(bias), FMT))
         np.testing.assert_allclose(actual, expected, atol=1e-5)
+
+
+class TestMatmul:
+    def test_matches_columnwise_matvec_exactly(self, rng):
+        a = q(rng.uniform(-2, 2, size=(9, 6)))
+        b = q(rng.uniform(-2, 2, size=(6, 5)))
+        product = qmatmul(a, b, FMT)
+        assert product.shape == (9, 5)
+        for col in range(b.shape[1]):
+            np.testing.assert_array_equal(product[:, col], qmatvec(a, b[:, col], FMT))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            qmatmul(np.zeros(4, dtype=np.int64), np.zeros((4, 2), dtype=np.int64), FMT)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            qmatmul(np.zeros((2, 3), dtype=np.int64), np.zeros((4, 2), dtype=np.int64), FMT)
+
+
+class TestOverflow:
+    """Adversarially large in-format values that wrap plain int64 math."""
+
+    # In-format value ~4.6e12 (near the saturation limit): its square is
+    # ~2.1e31 at scale**2, far beyond INT64_MAX ~ 9.2e18.
+    BIG = rescale_saturation_limit(FMT) // 2
+
+    def test_qmul_saturates_by_default(self):
+        limit = rescale_saturation_limit(FMT)
+        assert qmul(self.BIG, self.BIG, FMT) == limit
+        assert qmul(-self.BIG, self.BIG, FMT) == -limit
+        assert qmul(-self.BIG, -self.BIG, FMT) == limit
+
+    def test_qmul_raise_mode(self):
+        with pytest.raises(FixedPointOverflowError):
+            qmul(self.BIG, self.BIG, FMT, on_overflow="raise")
+
+    def test_qmul_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            qmul(self.BIG, self.BIG, FMT, on_overflow="wrap")
+
+    def test_qmul_array_saturates_only_wrapped_elements(self):
+        a = np.array([self.BIG, q(0.5)], dtype=np.int64)
+        b = np.array([self.BIG, q(0.5)], dtype=np.int64)
+        out = qmul(a, b, FMT)
+        assert out[0] == rescale_saturation_limit(FMT)
+        assert out[1] == qmul(q(0.5), q(0.5), FMT)
+
+    def test_qmul_near_threshold_unaffected(self):
+        # Large but in-range products must pass through bit-identically
+        # even when the overflow screen triggers a full exact recompute.
+        a, b = 3_000_000_000, 3_000_000_000  # product 9e18 < 2**63-1
+        assert qmul(a, b, FMT) == _rounded_scale_division(a * b, FMT.scale)
+
+    def test_qmatvec_accumulation_saturates(self):
+        matrix = np.full((2, 4), self.BIG, dtype=np.int64)
+        vector = np.full(4, self.BIG, dtype=np.int64)
+        out = qmatvec(matrix, vector, FMT)
+        np.testing.assert_array_equal(
+            out, np.full(2, rescale_saturation_limit(FMT), dtype=np.int64)
+        )
+
+    def test_qmatvec_raise_mode(self):
+        matrix = np.full((1, 2), self.BIG, dtype=np.int64)
+        vector = np.full(2, -self.BIG, dtype=np.int64)
+        with pytest.raises(FixedPointOverflowError):
+            qmatvec(matrix, vector, FMT, on_overflow="raise")
+
+    def test_qmatvec_cancelling_accumulation_not_flagged(self):
+        # Individual products overflow the screen's bound but the true sum
+        # fits: the exact recompute must keep the correct value.
+        big = 4_000_000_000_000  # big^2 ~ 1.6e25 overflows; sum cancels
+        matrix = np.array([[big, big]], dtype=np.int64)
+        vector = np.array([big, -big], dtype=np.int64)
+        assert qmatvec(matrix, vector, FMT)[0] == 0
+
+    def test_qmatmul_saturates(self):
+        a = np.full((2, 3), self.BIG, dtype=np.int64)
+        b = np.full((3, 2), -self.BIG, dtype=np.int64)
+        out = qmatmul(a, b, FMT)
+        np.testing.assert_array_equal(
+            out, np.full((2, 2), -rescale_saturation_limit(FMT), dtype=np.int64)
+        )
+
+    def test_qdot_saturates(self):
+        a = np.full(3, self.BIG, dtype=np.int64)
+        assert qdot(a, a, FMT) == rescale_saturation_limit(FMT)
+
+    def test_saturated_value_survives_downstream_softsign(self):
+        # The saturation limit is chosen so q * scale still fits int64,
+        # keeping qsoftsign's numerator in range.
+        from repro.fixedpoint.activations import qsoftsign
+
+        limit = rescale_saturation_limit(FMT)
+        out = qsoftsign(np.array([limit, -limit]), FMT)
+        assert abs(int(out[0])) <= FMT.scale  # softsign output in (-1, 1)
+        assert int(out[0]) == -int(out[1])
+
+    def test_rounded_division_near_int64_limit(self):
+        # The old +half implementation wrapped for magnitudes within
+        # scale // 2 of the int64 limit.
+        top = np.iinfo(np.int64).max
+        assert _rounded_scale_division(top, FMT.scale) == round(top / FMT.scale)
+        assert _rounded_scale_division(-top, FMT.scale) == -round(top / FMT.scale)
 
 
 class TestProperties:
