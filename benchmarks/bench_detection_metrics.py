@@ -27,10 +27,12 @@ PAPER_METRICS = {
 }
 
 
-def bench_detection_metrics_on_csd(benchmark, bench_model, bench_split):
+def bench_detection_metrics_on_csd(benchmark, bench_model, bench_split, bench_telemetry):
     _, test = bench_split
     engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
                              sequence_length=test.sequence_length)
+    if bench_telemetry is not None:
+        engine.attach_telemetry(bench_telemetry)
     # Simulated per-sequence inference is heavyweight; evaluate a fixed
     # subsample through the engine and the full split through the model.
     sample_size = min(400, len(test))

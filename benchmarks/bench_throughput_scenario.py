@@ -48,7 +48,7 @@ def bench_sustained_throughput(benchmark, bench_model):
     assert report.concurrent_streams > 5
 
 
-def bench_host_simulation_batch_rate(benchmark, bench_model):
+def bench_host_simulation_batch_rate(benchmark, bench_model, bench_telemetry):
     """Wall-clock rate at which *this simulation* evaluates windows.
 
     Distinct from the simulated-hardware ceilings above: the engine's
@@ -59,6 +59,8 @@ def bench_host_simulation_batch_rate(benchmark, bench_model):
     """
     engine = engine_at_level(bench_model, OptimizationLevel.FIXED_POINT,
                              sequence_length=100)
+    if bench_telemetry is not None:
+        engine.attach_telemetry(bench_telemetry)
     rng = np.random.default_rng(0)
     windows = rng.integers(0, 278, size=(256, 100))
     engine.infer_batch(windows[:2])  # warm-up

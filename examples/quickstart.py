@@ -7,12 +7,17 @@ The whole paper pipeline in ~30 lines:
 2. train the 7,472-parameter embedding+LSTM model offline;
 3. deploy it onto the simulated SmartSSD-class inference engine
    (fixed-point, all optimisations);
-4. evaluate detection quality and report the per-item inference time.
+4. evaluate detection quality and report the per-item inference time;
+5. attach telemetry and trace one batch inference kernel by kernel.
+
+The same telemetry is available from the CLI via the global flag, e.g.
+``python -m repro --telemetry out.jsonl evaluate weights.txt data.csv``
+(schema: docs/observability.md).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import build_dataset, train_detector
+from repro import Telemetry, build_dataset, train_detector
 from repro.nn import TrainingConfig
 
 
@@ -43,6 +48,18 @@ def main() -> None:
     print(f"One full {dataset.sequence_length}-item window: "
           f"{per_item_us * dataset.sequence_length / 1000:.3f} ms-equivalent "
           f"of FPGA time")
+
+    print("Tracing one 64-window batch (simulated kernel-clock cycles)...")
+    telemetry = Telemetry()
+    detector.engine.attach_telemetry(telemetry)
+    detector.engine.infer_batch(test_split.sequences[:64])
+    print(telemetry.tracer.render_tree(cycles=True))
+    gates = telemetry.metrics.histogram(
+        "repro_kernel_latency_cycles", kernel="kernel_gates"
+    )
+    print(f"  kernel_gates: {gates.count} observations, "
+          f"{gates.sum / gates.count:.0f} cycle(s) per item "
+          f"(the paper's 1-cycle headline)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Check that relative markdown links point at files that exist.
+
+Scans ``docs/``, ``README.md``, and ``EXPERIMENTS.md`` (plus any paths
+given on the command line) for inline links and validates every
+relative target against the working tree.  External schemes
+(``http(s)``, ``mailto``) and pure in-page anchors are skipped; fenced
+code blocks are ignored so example snippets cannot produce false
+positives.
+
+Usage::
+
+    python scripts/check_markdown_links.py            # default file set
+    python scripts/check_markdown_links.py docs/*.md  # explicit files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_TARGETS = ["docs", "README.md", "EXPERIMENTS.md"]
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def strip_fenced_code(text: str) -> str:
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    targets = arguments or DEFAULT_TARGETS
+    files: list[Path] = []
+    for target in targets:
+        path = REPO_ROOT / target
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            sys.stderr.write(f"warning: {target} does not exist, skipping\n")
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = strip_fenced_code(path.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {match.group(1)}"
+            )
+    return errors
+
+
+def main(arguments: list[str]) -> int:
+    files = collect_files(arguments)
+    if not files:
+        sys.stderr.write("error: no markdown files to check\n")
+        return 2
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        for error in errors:
+            print(error)
+        print(f"{len(errors)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"all links resolve ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -26,6 +26,9 @@ Subpackages
     CPU and GPU comparison baselines (Table I).
 ``repro.ransomware``
     Dataset synthesis, detection, mitigation, CTI updates.
+``repro.telemetry``
+    Structured telemetry: metrics, span traces, exporters
+    (contract in ``docs/observability.md``).
 """
 
 from repro.baselines import (
@@ -56,6 +59,7 @@ from repro.ransomware import (
     build_dataset,
     train_detector,
 )
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -69,6 +73,7 @@ __all__ = [
     "OptimizationLevel",
     "RansomwareDetector",
     "SequenceClassifier",
+    "Telemetry",
     "Trainer",
     "TrainingConfig",
     "build_dataset",

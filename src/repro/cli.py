@@ -10,6 +10,11 @@ Commands cover the operational loop a data-center operator would run:
   through a deployed detector, reporting the alarm point;
 * ``report``   — print the Vitis-style emulation report for a
   configuration (utilisation + per-kernel timing).
+
+The global ``--telemetry <path>`` flag (before the subcommand) records
+structured telemetry — counters, latency histograms, and kernel-level
+span trees per the ``docs/observability.md`` contract — as JSON lines at
+``<path>`` for any command that drives the engine.
 """
 
 from __future__ import annotations
@@ -105,6 +110,7 @@ def _run_evaluate(args) -> int:
         args.weights, sequence_length=dataset.sequence_length
     )
     engine = _engine_at(engine, OptimizationLevel[args.optimization])
+    _maybe_attach_telemetry(engine, args)
     subset = dataset.subset(np.arange(min(args.limit, len(dataset))))
     metrics = classification_report(engine.predict(subset.sequences), subset.labels)
     for name, value in metrics.items():
@@ -119,6 +125,13 @@ def _engine_at(engine: CSDInferenceEngine, level: OptimizationLevel) -> CSDInfer
         return engine
     config = dataclasses.replace(engine.config, optimization=level)
     return CSDInferenceEngine(config, engine.weights)
+
+
+def _maybe_attach_telemetry(engine: CSDInferenceEngine, args) -> None:
+    """Attach the session's Telemetry (from ``--telemetry``) if enabled."""
+    telemetry = getattr(args, "_telemetry", None)
+    if telemetry is not None:
+        engine.attach_telemetry(telemetry)
 
 
 def _add_scan_command(subparsers) -> None:
@@ -137,6 +150,7 @@ def _run_scan(args) -> int:
     engine = CSDInferenceEngine.from_weight_file(
         args.weights, sequence_length=args.sequence_length
     )
+    _maybe_attach_telemetry(engine, args)
     detector = RansomwareDetector(engine, threshold=args.threshold, stride=args.stride)
     family = next(f for f in ALL_FAMILIES if f.name == args.family)
     trace = CuckooSandbox(seed=args.seed).execute_ransomware(family, args.variant)
@@ -166,6 +180,7 @@ def _run_report(args) -> int:
         num_gate_cus=args.gate_cus,
     )
     engine = CSDInferenceEngine.build_unloaded(config)
+    _maybe_attach_telemetry(engine, args)
     print(render_engine_report(engine), end="")
     return 0
 
@@ -175,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CSD-based LSTM inference for ransomware detection "
                     "(DSN-S 2024 reproduction)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write structured telemetry (JSON lines, schema in "
+             "docs/observability.md) to PATH",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_dataset_command(subparsers)
@@ -187,7 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import JsonLinesExporter, Telemetry
+
+        telemetry = Telemetry(exporters=[JsonLinesExporter(args.telemetry)])
+    args._telemetry = telemetry
+    try:
+        return args.handler(args)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 if __name__ == "__main__":

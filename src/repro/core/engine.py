@@ -89,7 +89,12 @@ class CSDInferenceEngine:
         Host-layout weights, or ``None`` for a timing-only engine.
     """
 
-    def __init__(self, config: EngineConfig, weights: HostWeights | None):
+    def __init__(
+        self,
+        config: EngineConfig,
+        weights: HostWeights | None,
+        telemetry=None,
+    ):
         self.config = config
         self.device = FpgaDevice(
             part=config.fpga_part,
@@ -105,6 +110,9 @@ class CSDInferenceEngine:
         self.quantized: QuantizedHostWeights | None = None
         self.storage: SmartSSD | None = None
         self.sequences_processed = 0
+        self.telemetry = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
         if weights is not None:
             self.load_weights(weights)
 
@@ -224,6 +232,22 @@ class CSDInferenceEngine:
     def attach_storage(self, smartssd: SmartSSD) -> None:
         """Pair the engine with a SmartSSD for P2P input fetches."""
         self.storage = smartssd
+        if self.telemetry is not None:
+            smartssd.telemetry = self.telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable observation: route metrics/spans to ``telemetry``.
+
+        Propagates to the preprocess kernel's AXI port and any attached
+        SmartSSD.  The contract (metric names, labels, units, the
+        ``infer_batch`` span tree) is documented in
+        ``docs/observability.md``; telemetry never alters numerics —
+        batch results stay bit-exact with telemetry on or off.
+        """
+        self.telemetry = telemetry
+        self.preprocess.axi.telemetry = telemetry
+        if self.storage is not None:
+            self.storage.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Inference
@@ -317,8 +341,66 @@ class CSDInferenceEngine:
         )
         self.preprocess.account_batch_fetches(batch.shape[0] - 1)
         self.sequences_processed += batch.shape[0]
+        if self.telemetry is not None:
+            self._emit_batch_telemetry(batch.shape[0], timing)
         return BatchInferenceResult(
             probabilities=np.asarray(predictions, dtype=np.float64), timing=timing
+        )
+
+    def _emit_batch_telemetry(self, batch_size: int, timing: InferenceTiming) -> None:
+        """Record the documented metrics + span tree for one batch call.
+
+        One histogram observation per *sequence* (``count=batch_size``
+        folds them — every sequence of a batch shares the same simulated
+        latency), and one span tree per call laying out the per-item
+        kernel schedule plus the one-time FC epilogue.  See
+        ``docs/observability.md`` for the exact contract; the tree shape
+        below is pinned by the docs-as-contract test.
+        """
+        telemetry = self.telemetry
+        optimization = self.config.optimization.name
+        telemetry.counter("repro_batches_total").inc()
+        telemetry.counter(
+            "repro_sequences_processed_total", optimization=optimization
+        ).inc(batch_size)
+        telemetry.counter("repro_items_processed_total", optimization=optimization).inc(
+            batch_size * self.config.dimensions.sequence_length
+        )
+        telemetry.histogram("repro_batch_size").observe(batch_size)
+        for report in timing.per_item_reports:
+            telemetry.histogram(
+                "repro_kernel_latency_cycles", kernel=report.kernel
+            ).observe(report.cycles, count=batch_size)
+        total_cycles = timing.sequence_cycles + timing.classification_cycles
+        telemetry.histogram("repro_sequence_latency_cycles").observe(
+            total_cycles, count=batch_size
+        )
+
+        preprocess_cycles, gates_cycles, hidden_cycles = (
+            report.cycles for report in timing.per_item_reports
+        )
+        tracer = telemetry.tracer
+        root = tracer.record(
+            "csd.infer_batch",
+            0,
+            total_cycles,
+            attributes={"batch_size": batch_size, "optimization": optimization},
+        )
+        tracer.record("csd.preprocess", 0, preprocess_cycles, parent=root)
+        gates_end = preprocess_cycles + gates_cycles
+        gates_span = tracer.record(
+            "csd.gates", preprocess_cycles, gates_end, parent=root
+        )
+        for cu_index in range(self.config.num_gate_cus):
+            tracer.record(
+                f"csd.gates.cu{cu_index}", preprocess_cycles, gates_end,
+                parent=gates_span,
+            )
+        tracer.record(
+            "csd.hidden_state", gates_end, gates_end + hidden_cycles, parent=root
+        )
+        tracer.record(
+            "csd.fc_head", timing.sequence_cycles, total_cycles, parent=root
         )
 
     def infer_from_storage(self, key: str, token_ids) -> tuple:
@@ -333,6 +415,16 @@ class CSDInferenceEngine:
             raise RuntimeError("no SmartSSD attached; call attach_storage first")
         transfer_seconds = self.storage.p2p_fetch(key)
         fetched_bytes = self.storage.transfers[-1].num_bytes
+        if self.telemetry is not None:
+            self.telemetry.tracer.record(
+                "csd.p2p_dma",
+                0,
+                self.device.clock.seconds_to_cycles(transfer_seconds),
+                attributes={
+                    "key": key, "bytes": fetched_bytes, "route": "p2p",
+                    "seconds": transfer_seconds,
+                },
+            )
         try:
             result = self.infer_sequence(token_ids)
         finally:

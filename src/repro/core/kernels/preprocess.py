@@ -114,8 +114,20 @@ class PreprocessKernel(Kernel):
             return
         dims = self.config.dimensions
         bytes_per_value = 8 if self.config.optimization.uses_fixed_point else 4
-        self.axi.bytes_transferred += count * dims.embedding_dim * bytes_per_value
+        num_bytes = count * dims.embedding_dim * bytes_per_value
+        self.axi.bytes_transferred += num_bytes
         self.axi.transfer_count += count
+        if self.axi.telemetry is not None:
+            # Mirror into the telemetry counters so they stay equal to the
+            # port's own counters (the per-transfer hook in read_cycles is
+            # bypassed here by design).
+            metrics = self.axi.telemetry.metrics
+            metrics.counter(
+                "repro_axi_bytes_total", port=self.axi.name, op="read"
+            ).inc(num_bytes)
+            metrics.counter(
+                "repro_axi_transfers_total", port=self.axi.name, op="read"
+            ).inc(count)
 
     # ------------------------------------------------------------------
     # Timing

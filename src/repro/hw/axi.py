@@ -59,6 +59,18 @@ class AxiMasterPort:
             )
         self.bytes_transferred = 0
         self.transfer_count = 0
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, every
+        #: transfer is mirrored into the ``repro_axi_*`` metrics (see
+        #: docs/observability.md).  ``None`` keeps the port hook-free.
+        self.telemetry = None
+
+    def _record(self, op: str, num_bytes: int, cycles: int) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("repro_axi_bytes_total", port=self.name, op=op).inc(num_bytes)
+        metrics.counter("repro_axi_transfers_total", port=self.name, op=op).inc()
+        metrics.histogram(
+            "repro_axi_transfer_cycles", port=self.name, op=op
+        ).observe(cycles)
 
     @property
     def bytes_per_beat(self) -> int:
@@ -82,7 +94,10 @@ class AxiMasterPort:
         self.bytes_transferred += num_bytes
         self.transfer_count += 1
         data_cycles = math.ceil(self._beats(num_bytes) * contention_factor)
-        return self.read_latency_cycles + data_cycles
+        total = self.read_latency_cycles + data_cycles
+        if self.telemetry is not None:
+            self._record("read", num_bytes, total)
+        return total
 
     def write_cycles(self, num_bytes: int, contention_factor: float = 1.0) -> int:
         """Cycles to write ``num_bytes`` as one burst."""
@@ -93,4 +108,7 @@ class AxiMasterPort:
         self.bytes_transferred += num_bytes
         self.transfer_count += 1
         data_cycles = math.ceil(self._beats(num_bytes) * contention_factor)
-        return self.write_latency_cycles + data_cycles
+        total = self.write_latency_cycles + data_cycles
+        if self.telemetry is not None:
+            self._record("write", num_bytes, total)
+        return total

@@ -117,19 +117,30 @@ class FaultPlan:
             self.dma_error.check()
 
 
-def retry_dma(plan: FaultPlan, attempts: int = 3) -> int:
+def retry_dma(plan: FaultPlan, attempts: int = 3, telemetry=None) -> int:
     """Drive a DMA through the fault plan with a retry budget.
 
     Returns the number of attempts used.  Raises
     :class:`repro.hw.axi.TransferError` if the budget is exhausted.
+    When ``telemetry`` is given, every attempt/retry/failure increments
+    the ``repro_dma_*_total`` counters (docs/observability.md).
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
     for attempt in range(1, attempts + 1):
         try:
             plan.check_dma()
-            return attempt
         except TransferError:
+            if telemetry is not None:
+                telemetry.counter("repro_dma_attempts_total").inc()
             if attempt == attempts:
+                if telemetry is not None:
+                    telemetry.counter("repro_dma_failures_total").inc()
                 raise
+            if telemetry is not None:
+                telemetry.counter("repro_dma_retries_total").inc()
+            continue
+        if telemetry is not None:
+            telemetry.counter("repro_dma_attempts_total").inc()
+        return attempt
     raise AssertionError("unreachable")

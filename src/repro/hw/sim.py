@@ -28,11 +28,15 @@ class Simulator:
     further events.  Time is unitless (cycles, here).
     """
 
-    def __init__(self):
+    def __init__(self, telemetry=None):
         self._queue: list = []
         self._counter = itertools.count()
         self.now = 0
         self._fired = 0
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, each
+        #: :meth:`run` reports the events it drained (experimental
+        #: metrics — see docs/observability.md).
+        self.telemetry = telemetry
 
     def schedule(self, delay: int, action) -> None:
         """Run ``action()`` ``delay`` ticks from now."""
@@ -45,6 +49,7 @@ class Simulator:
 
         ``max_events`` guards against runaway self-scheduling models.
         """
+        fired_before = self._fired
         while self._queue:
             self._fired += 1
             if self._fired > max_events:
@@ -52,6 +57,10 @@ class Simulator:
             time, _, action = heapq.heappop(self._queue)
             self.now = time
             action()
+        if self.telemetry is not None:
+            self.telemetry.counter("repro_sim_events_total").inc(
+                self._fired - fired_before
+            )
         return self.now
 
     @property
@@ -105,7 +114,7 @@ class PipelineTrace:
 
 
 def simulate_item_pipeline(
-    timing: StageTiming, num_items: int, preemptive: bool
+    timing: StageTiming, num_items: int, preemptive: bool, telemetry=None
 ) -> tuple:
     """Event-level model of the engine's per-item schedule.
 
@@ -123,7 +132,7 @@ def simulate_item_pipeline(
     """
     if num_items < 0:
         raise ValueError(f"num_items must be non-negative, got {num_items}")
-    simulator = Simulator()
+    simulator = Simulator(telemetry=telemetry)
     trace = PipelineTrace()
     embedding_ready = [None] * max(num_items, 1)  # completion time per item
     compute_done = [None] * max(num_items, 1)
@@ -175,4 +184,12 @@ def simulate_item_pipeline(
             start_preprocess(0, not_before=0)
 
     total = simulator.run()
+    if telemetry is not None:
+        for stage, spans in (
+            ("preprocess", trace.preprocess_spans),
+            ("compute", trace.compute_spans),
+        ):
+            histogram = telemetry.histogram("repro_sim_stage_cycles", stage=stage)
+            for start, end in spans:
+                histogram.observe(end - start)
     return total, trace

@@ -62,6 +62,27 @@ class SmartSSD:
         self.fpga_dram_bytes = fpga_dram_bytes
         self._fpga_dram_used = 0
         self.transfers: list = []
+        #: Optional :class:`repro.telemetry.Telemetry`; set directly or
+        #: propagated by ``CSDInferenceEngine.attach_telemetry``.  When
+        #: present, transfers and DRAM occupancy feed the
+        #: ``repro_storage_*`` / ``repro_fpga_dram_used_bytes`` metrics.
+        self.telemetry = None
+
+    def _record_transfer(self, record: TransferRecord) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("repro_storage_bytes_total", route=record.route).inc(
+            record.num_bytes
+        )
+        metrics.counter("repro_storage_transfers_total", route=record.route).inc()
+        metrics.histogram(
+            "repro_storage_transfer_seconds", route=record.route
+        ).observe(record.seconds)
+
+    def _update_dram_gauge(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge("repro_fpga_dram_used_bytes").set(
+                self._fpga_dram_used
+            )
 
     @property
     def fpga_dram_free_bytes(self) -> int:
@@ -74,6 +95,7 @@ class SmartSSD:
                 f"({self._fpga_dram_used}/{self.fpga_dram_bytes} used)"
             )
         self._fpga_dram_used += num_bytes
+        self._update_dram_gauge()
 
     def host_load_weights(self, num_bytes: int) -> float:
         """Host → FPGA DRAM weight download at initialisation.
@@ -82,7 +104,10 @@ class SmartSSD:
         """
         self._reserve_fpga_dram(num_bytes, "weights")
         seconds = self.switch.upstream.transfer_seconds(num_bytes)
-        self.transfers.append(TransferRecord("host_to_fpga", num_bytes, seconds))
+        record = TransferRecord("host_to_fpga", num_bytes, seconds)
+        self.transfers.append(record)
+        if self.telemetry is not None:
+            self._record_transfer(record)
         return seconds
 
     def p2p_fetch(self, key: str) -> float:
@@ -96,7 +121,10 @@ class SmartSSD:
         self._reserve_fpga_dram(num_bytes, key)
         link_seconds = self.switch.p2p_transfer_seconds(num_bytes)
         seconds = ssd_seconds + link_seconds
-        self.transfers.append(TransferRecord("p2p", num_bytes, seconds))
+        record = TransferRecord("p2p", num_bytes, seconds)
+        self.transfers.append(record)
+        if self.telemetry is not None:
+            self._record_transfer(record)
         return seconds
 
     def host_fetch(self, key: str) -> float:
@@ -105,7 +133,10 @@ class SmartSSD:
         self._reserve_fpga_dram(num_bytes, key)
         link_seconds = self.switch.host_mediated_transfer_seconds(num_bytes)
         seconds = ssd_seconds + link_seconds
-        self.transfers.append(TransferRecord("host", num_bytes, seconds))
+        record = TransferRecord("host", num_bytes, seconds)
+        self.transfers.append(record)
+        if self.telemetry is not None:
+            self._record_transfer(record)
         return seconds
 
     def release_fpga_dram(self, num_bytes: int) -> None:
@@ -115,6 +146,7 @@ class SmartSSD:
                 f"cannot release {num_bytes} bytes; {self._fpga_dram_used} in use"
             )
         self._fpga_dram_used -= num_bytes
+        self._update_dram_gauge()
 
     def traffic_summary(self) -> dict:
         """Total bytes moved per route."""

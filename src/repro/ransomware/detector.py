@@ -111,13 +111,20 @@ class RansomwareDetector:
             return None
         result = self.engine.infer_sequence(list(self._buffer))
         self._windows_classified += 1
-        return Verdict(
+        verdict = Verdict(
             window_index=window_index,
             probability=result.probability,
             is_ransomware=result.probability >= self.threshold,
             inference_microseconds=result.timing.per_item_microseconds
             * self._window_length,
         )
+        telemetry = self.engine.telemetry
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_detector_verdicts_total",
+                verdict="ransomware" if verdict.is_ransomware else "benign",
+            ).inc()
+        return verdict
 
     def scan_trace(self, api_calls, stop_at_first: bool = True) -> DetectionReport:
         """Scan a full trace; optionally stop at the first alarm."""
@@ -153,6 +160,10 @@ class RansomwareDetector:
 
         probabilities = self.engine.predict_proba(dataset.sequences)
         predictions = (probabilities >= self.threshold).astype(int)
+        telemetry = self.engine.telemetry
+        if telemetry is not None:
+            telemetry.counter("repro_detector_evaluations_total").inc()
+            telemetry.counter("repro_detector_windows_total").inc(len(dataset))
         return classification_report(predictions, dataset.labels)
 
 

@@ -1,0 +1,134 @@
+"""Structured telemetry for the CSD inference pipeline.
+
+The observability layer the scaling ROADMAP items (sharding, fleet
+scheduling, async serving) build on: counters, gauges and fixed-bucket
+histograms (:mod:`repro.telemetry.metrics`), a span tracer keyed to the
+simulated kernel clock (:mod:`repro.telemetry.spans`), and pluggable
+exporters (:mod:`repro.telemetry.exporters`).  The metric names, label
+sets, units, and the ``infer_batch`` span tree are a **documented
+contract** — ``docs/observability.md`` — enforced by
+``tests/integration/test_observability_contract.py``.
+
+Telemetry is opt-in and observation-only: components hold a ``telemetry``
+reference that defaults to ``None`` and guard every hook with one ``is
+None`` check, so the disabled path costs a pointer test and nothing
+escapes into the numerics (batch parity stays bit-exact either way).
+
+Usage::
+
+    from repro import OptimizationLevel, engine_at_level
+    from repro.telemetry import JsonLinesExporter, Telemetry
+
+    telemetry = Telemetry(exporters=[JsonLinesExporter("telemetry.jsonl")])
+    engine = engine_at_level(model, OptimizationLevel.FIXED_POINT)
+    engine.attach_telemetry(telemetry)
+    engine.infer_batch(sequences)
+    telemetry.close()        # export every metric + span, close files
+
+From the CLI: ``python -m repro --telemetry telemetry.jsonl evaluate …``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.exporters import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    PrometheusFileExporter,
+    SCHEMA,
+    metric_events,
+    render_prometheus,
+    span_events,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.spans import Span, Tracer
+
+
+class Telemetry:
+    """One telemetry session: a metric registry, a tracer, exporters.
+
+    Parameters
+    ----------
+    exporters:
+        Iterable of exporter objects (``export(events)`` + ``close()``;
+        optionally ``emit(event)`` for streaming single events).
+    """
+
+    def __init__(self, exporters=()):
+        self.metrics = MetricRegistry()
+        self.tracer = Tracer()
+        self.exporters = list(exporters)
+        self._closed = False
+
+    # -- instrument conveniences ---------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    def record_span(self, name, start_cycle, end_cycle, parent=None, attributes=None) -> Span:
+        return self.tracer.record(name, start_cycle, end_cycle, parent, attributes)
+
+    # -- export lifecycle ----------------------------------------------
+
+    def events(self) -> list:
+        """The full, schema-stamped event stream (metrics then spans)."""
+        return metric_events(self.metrics) + span_events(self.tracer)
+
+    def emit(self, event: dict) -> None:
+        """Stream one extra event to every exporter that supports it."""
+        stamped = {"schema": SCHEMA}
+        stamped.update(event)
+        for exporter in self.exporters:
+            emit = getattr(exporter, "emit", None)
+            if emit is not None:
+                emit(stamped)
+
+    def export(self) -> list:
+        """Push the current event stream to every exporter; returns it."""
+        events = self.events()
+        for exporter in self.exporters:
+            exporter.export(events)
+        return events
+
+    def close(self) -> None:
+        """Export once, then close every exporter.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.export()
+        for exporter in self.exporters:
+            exporter.close()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "MetricRegistry",
+    "PrometheusFileExporter",
+    "SCHEMA",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "metric_events",
+    "render_prometheus",
+    "span_events",
+]

@@ -1,0 +1,153 @@
+"""Pluggable exporters for the telemetry event schema.
+
+Three renditions of the same data, all produced from the identical event
+stream (``schema`` field ``repro.telemetry/v1``; see
+``docs/observability.md`` for the field-by-field contract):
+
+* :class:`JsonLinesExporter` — one JSON object per line, the format the
+  CLI's ``--telemetry <path>`` flag and the benchmark harness write;
+* :class:`InMemoryExporter` — collects event dicts for tests;
+* :class:`PrometheusFileExporter` / :func:`render_prometheus` — the
+  Prometheus text exposition format for the metric events.
+
+Exporters receive *events* (plain dicts), not live instruments, so an
+exporter can never perturb the measurement.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.spans import Tracer
+
+#: Version tag stamped on every exported event.
+SCHEMA = "repro.telemetry/v1"
+
+
+def metric_events(registry: MetricRegistry) -> list:
+    """Every instrument as one schema-stamped event dict."""
+    events = []
+    for record in registry.snapshot():
+        event = {"schema": SCHEMA}
+        event.update(record)
+        events.append(event)
+    return events
+
+
+def span_events(tracer: Tracer) -> list:
+    """Every span, depth-first, with integer ``span_id``/``parent_id``."""
+    ids: dict = {}
+    events = []
+    for span, parent in tracer.iter_spans():
+        span_id = len(ids)
+        ids[id(span)] = span_id
+        events.append(
+            {
+                "schema": SCHEMA,
+                "type": "span",
+                "name": span.name,
+                "span_id": span_id,
+                "parent_id": None if parent is None else ids[id(parent)],
+                "start_cycle": span.start_cycle,
+                "end_cycle": span.end_cycle,
+                "attributes": dict(span.attributes),
+            }
+        )
+    return events
+
+
+class InMemoryExporter:
+    """Collects events in a list — the test seam."""
+
+    def __init__(self):
+        self.events: list = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(dict(event))
+
+    def export(self, events) -> None:
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def by_type(self, event_type: str) -> list:
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonLinesExporter:
+    """Appends one JSON object per line to ``path``.
+
+    ``sort_keys=True`` keeps the output byte-stable across runs so
+    telemetry files diff cleanly.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._file = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        json.dump(event, self._file, sort_keys=True)
+        self._file.write("\n")
+        self._file.flush()
+
+    def export(self, events) -> None:
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def _render_labels(labels: dict, extra: tuple | None = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(events) -> str:
+    """Prometheus text exposition of the metric events in ``events``.
+
+    Span and bench-report events are skipped (Prometheus has no span
+    type); histograms render cumulative ``_bucket`` series plus ``_sum``
+    and ``_count``, per the exposition format.
+    """
+    lines: list = []
+    typed = [e for e in events if e.get("type") in ("counter", "gauge", "histogram")]
+    seen_type: set = set()
+    for event in sorted(typed, key=lambda e: (e["name"], sorted(e["labels"].items()))):
+        name, labels = event["name"], event["labels"]
+        if name not in seen_type:
+            seen_type.add(name)
+            lines.append(f"# TYPE {name} {event['type']}")
+        if event["type"] in ("counter", "gauge"):
+            lines.append(f"{name}{_render_labels(labels)} {event['value']}")
+        else:
+            for le, count in event["buckets"]:
+                lines.append(
+                    f"{name}_bucket{_render_labels(labels, ('le', le))} {count}"
+                )
+            lines.append(f"{name}_sum{_render_labels(labels)} {event['sum']}")
+            lines.append(f"{name}_count{_render_labels(labels)} {event['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusFileExporter:
+    """Writes the Prometheus text rendition to ``path`` on each export."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def export(self, events) -> None:
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(events))
+
+    def close(self) -> None:
+        pass

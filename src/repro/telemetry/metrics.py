@@ -1,0 +1,224 @@
+"""Counters, gauges, and fixed-bucket latency histograms.
+
+The instruments here are deliberately **wall-clock free**: every value
+observed is a simulated quantity — kernel-clock cycles of the engine's
+:class:`~repro.hw.clock.ClockDomain`, modeled transfer seconds, byte or
+sequence counts — so two identical runs produce byte-identical telemetry.
+That determinism is what lets the docs-as-contract test pin the exported
+schema exactly (see ``docs/observability.md``).
+
+Histograms use fixed, explicit bucket upper bounds (Prometheus ``le``
+semantics: an observation lands in the first bucket whose bound is
+``>= value``, with an implicit ``+Inf`` overflow bucket) and support
+exact :meth:`Histogram.merge` so per-shard histograms can be combined
+without loss — the property the ROADMAP's sharding/fleet work needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+#: Default bounds for ``*_cycles`` histograms: 1 cycle .. ~1M cycles in
+#: powers of two.  Covers one-cycle fixed-point gate initiations up to
+#: whole-sequence latencies at every optimisation level.
+DEFAULT_CYCLE_BUCKETS = tuple(2 ** exponent for exponent in range(21))
+
+#: Default bounds for ``*_seconds`` histograms (modeled device seconds,
+#: never host wall clock): 100 ns .. 10 s in decades.
+DEFAULT_SECONDS_BUCKETS = tuple(10.0 ** exponent for exponent in range(-7, 2))
+
+#: Default bounds for everything else (sizes, counts): 1 .. 65,536.
+DEFAULT_SIZE_BUCKETS = tuple(2 ** exponent for exponent in range(17))
+
+
+def _check_labels(labels: dict) -> dict:
+    for key, value in labels.items():
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"label names must be non-empty strings, got {key!r}")
+        if not isinstance(value, (str, int, float, bool)):
+            raise ValueError(f"label {key!r} has unsupported value {value!r}")
+    return dict(labels)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = _check_labels(labels)
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, utilisation)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = _check_labels(labels)
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def add(self, delta: int | float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A fixed-bucket distribution with exact merge.
+
+    Parameters
+    ----------
+    name / labels:
+        Identity within a :class:`MetricRegistry`.
+    buckets:
+        Strictly increasing upper bounds (``le``).  Observations above
+        the last bound land in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("name", "labels", "bucket_bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: dict, buckets):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase, got {bounds}")
+        self.name = name
+        self.labels = _check_labels(labels)
+        self.bucket_bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: int | float, count: int = 1) -> None:
+        """Record ``value``; ``count`` folds repeated identical observations.
+
+        The ``count`` shortcut keeps batched instrumentation cheap: a
+        64-sequence batch whose sequences share one simulated latency is
+        one ``observe(latency, count=64)``, not 64 Python calls.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        index = bisect.bisect_left(self.bucket_bounds, value)
+        self.bucket_counts[index] += count
+        self.count += count
+        self.sum += value * count
+
+    def cumulative_buckets(self) -> list:
+        """``(le, cumulative_count)`` pairs, ending with ``("+Inf", count)``."""
+        pairs = []
+        running = 0
+        for bound, bucket_count in zip(self.bucket_bounds, self.bucket_counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram (exact).
+
+        Both histograms must share identical bucket bounds; merging is
+        element-wise addition, so ``merge`` is associative and
+        commutative — shard-order independent.
+        """
+        if other.bucket_bounds != self.bucket_bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bucket_bounds} vs {other.bucket_bounds}"
+            )
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+
+
+def default_buckets_for(name: str):
+    """Bucket bounds implied by a metric name's unit suffix."""
+    if name.endswith("_cycles"):
+        return DEFAULT_CYCLE_BUCKETS
+    if name.endswith("_seconds"):
+        return DEFAULT_SECONDS_BUCKETS
+    return DEFAULT_SIZE_BUCKETS
+
+
+class MetricRegistry:
+    """Get-or-create store for all instruments of one telemetry session.
+
+    Instruments are keyed by ``(name, sorted labels)``; asking twice with
+    the same identity returns the same object, so instrumented components
+    never need to coordinate.
+    """
+
+    def __init__(self):
+        self._metrics: dict = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def _get_or_create(self, kind, name, labels, factory):
+        key = self._key(name, labels)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r}{labels} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels, lambda: Counter(name, labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, lambda: Gauge(name, labels))
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        bounds = tuple(buckets) if buckets is not None else default_buckets_for(name)
+        return self._get_or_create(
+            Histogram, name, labels, lambda: Histogram(name, labels, bounds)
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def all_metrics(self) -> list:
+        """Every instrument, sorted by (name, labels) for determinism."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> list:
+        """Plain-data view of every instrument (the export surface)."""
+        records = []
+        for metric in self.all_metrics():
+            if isinstance(metric, Counter):
+                records.append(
+                    {"type": "counter", "name": metric.name,
+                     "labels": dict(metric.labels), "value": metric.value}
+                )
+            elif isinstance(metric, Gauge):
+                records.append(
+                    {"type": "gauge", "name": metric.name,
+                     "labels": dict(metric.labels), "value": metric.value}
+                )
+            else:
+                records.append(
+                    {"type": "histogram", "name": metric.name,
+                     "labels": dict(metric.labels),
+                     "buckets": [[le, count] for le, count in metric.cumulative_buckets()],
+                     "sum": metric.sum, "count": metric.count}
+                )
+        return records

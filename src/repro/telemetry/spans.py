@@ -1,0 +1,111 @@
+"""Span-based tracing of kernel-level events on the simulated timeline.
+
+A :class:`Span` is a named ``[start_cycle, end_cycle)`` interval of the
+engine's kernel :class:`~repro.hw.clock.ClockDomain` — never host wall
+clock — with optional attributes and child spans.  The engine records one
+span tree per ``infer_batch`` call laying out the per-item schedule
+(``csd.preprocess`` → the gate CUs → ``csd.hidden_state``) plus the
+one-time ``csd.fc_head`` epilogue; storage fetches record a separate
+``csd.p2p_dma`` root.  The exact tree shape is a documented, tested
+contract: see ``docs/observability.md``.
+
+The tracer is intentionally *explicit*: callers pass start/end cycles and
+the parent span, because the timing model is analytic — intervals are
+known when the span is recorded, so there is nothing to "enter" or
+"exit" and no hidden global state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Span:
+    """One named interval on the simulated cycle timeline."""
+
+    name: str
+    start_cycle: float
+    end_cycle: float
+    attributes: dict = dataclasses.field(default_factory=dict)
+    children: list = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.end_cycle < self.start_cycle:
+            raise ValueError(
+                f"span {self.name!r} ends ({self.end_cycle}) before it "
+                f"starts ({self.start_cycle})"
+            )
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+
+class Tracer:
+    """Records span trees; one tracer per :class:`~repro.telemetry.Telemetry`."""
+
+    def __init__(self):
+        self.roots: list = []
+
+    def record(
+        self,
+        name: str,
+        start_cycle: float,
+        end_cycle: float,
+        parent: Span | None = None,
+        attributes: dict | None = None,
+    ) -> Span:
+        """Record one span; attach to ``parent`` or as a new root."""
+        span = Span(
+            name=name,
+            start_cycle=start_cycle,
+            end_cycle=end_cycle,
+            attributes=dict(attributes or {}),
+        )
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        return span
+
+    def clear(self) -> None:
+        """Drop every recorded span (start of a fresh observation window)."""
+        self.roots = []
+
+    def iter_spans(self):
+        """Depth-first ``(span, parent)`` pairs over every recorded tree."""
+        stack = [(root, None) for root in reversed(self.roots)]
+        while stack:
+            span, parent = stack.pop()
+            yield span, parent
+            for child in reversed(span.children):
+                stack.append((child, span))
+
+    def render_tree(self, root: Span | None = None, cycles: bool = False) -> str:
+        """ASCII tree of span names (optionally with cycle intervals).
+
+        With ``cycles=False`` the rendition contains *names only* — this
+        is the exact text ``docs/observability.md`` pins in its
+        ``spantree`` block, so keep it stable.
+        """
+        lines: list = []
+
+        def label(span: Span) -> str:
+            if not cycles:
+                return span.name
+            return f"{span.name} [{span.start_cycle}, {span.end_cycle})"
+
+        def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            if is_root:
+                lines.append(label(span))
+                child_prefix = ""
+            else:
+                lines.append(prefix + ("└─ " if is_last else "├─ ") + label(span))
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            for index, child in enumerate(span.children):
+                walk(child, child_prefix, index == len(span.children) - 1, False)
+
+        for top in [root] if root is not None else self.roots:
+            walk(top, "", True, True)
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""docs/observability.md is a contract, not a description.
+
+Three enforcement angles:
+
+* the ``spantree`` block in the doc must equal, byte for byte, the tree
+  a 64-sequence ``infer_batch`` actually records;
+* every documented engine metric must be emitted with the documented
+  cardinality (one histogram observation per sequence);
+* every ``repro_*`` metric name that appears as a string literal in the
+  source must be documented — no undocumented telemetry can ship.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.telemetry import Telemetry
+from tests.conftest import TEST_SEQUENCE_LENGTH
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "observability.md"
+SRC = REPO_ROOT / "src" / "repro"
+
+BATCH_SIZE = 64
+
+
+def documented_spantree() -> str:
+    match = re.search(r"```spantree\n(.*?)```", DOC.read_text(), re.DOTALL)
+    assert match, "docs/observability.md lost its ```spantree block"
+    return match.group(1).rstrip("\n")
+
+
+@pytest.fixture(scope="module")
+def traced(trained_model):
+    engine = engine_at_level(
+        trained_model, OptimizationLevel.FIXED_POINT,
+        sequence_length=TEST_SEQUENCE_LENGTH,
+    )
+    telemetry = Telemetry()
+    engine.attach_telemetry(telemetry)
+    rng = np.random.default_rng(0)
+    sequences = rng.integers(0, 278, size=(BATCH_SIZE, TEST_SEQUENCE_LENGTH))
+    result = engine.infer_batch(sequences)
+    return engine, telemetry, sequences, result
+
+
+class TestSpanTreeMatchesDoc:
+    def test_rendered_tree_equals_doc_block_exactly(self, traced):
+        _, telemetry, _, _ = traced
+        assert telemetry.tracer.render_tree() == documented_spantree()
+
+    def test_intervals_tile_the_documented_schedule(self, traced):
+        engine, telemetry, _, result = traced
+        (root,) = telemetry.tracer.roots
+        children = {c.name: c for c in root.children}
+        timing = result.timing
+        assert root.start_cycle == 0
+        assert root.end_cycle == timing.sequence_cycles + timing.classification_cycles
+        # per-item stages are back to back in stage order
+        assert children["csd.preprocess"].start_cycle == 0
+        assert (
+            children["csd.gates"].start_cycle
+            == children["csd.preprocess"].end_cycle
+        )
+        assert (
+            children["csd.hidden_state"].start_cycle
+            == children["csd.gates"].end_cycle
+        )
+        # the FC epilogue closes the sequence
+        fc = children["csd.fc_head"]
+        assert fc.start_cycle == timing.sequence_cycles
+        assert fc.end_cycle == root.end_cycle
+        # concurrent CUs all cover the gates stage interval
+        gates = children["csd.gates"]
+        for cu in gates.children:
+            assert (cu.start_cycle, cu.end_cycle) == (
+                gates.start_cycle, gates.end_cycle,
+            )
+
+
+class TestMetricCardinality:
+    def test_one_kernel_observation_per_sequence(self, traced):
+        _, telemetry, _, _ = traced
+        for kernel in ("kernel_preprocess", "kernel_gates", "kernel_hidden_state"):
+            hist = telemetry.histogram("repro_kernel_latency_cycles", kernel=kernel)
+            assert hist.count == BATCH_SIZE, kernel
+        assert telemetry.histogram("repro_sequence_latency_cycles").count == BATCH_SIZE
+
+    def test_sequence_counter_advances_by_batch_size(self, traced):
+        engine, telemetry, _, _ = traced
+        counter = telemetry.counter(
+            "repro_sequences_processed_total",
+            optimization=engine.config.optimization.name,
+        )
+        assert counter.value == BATCH_SIZE
+
+
+class TestTelemetryIsObservationOnly:
+    def test_disabled_path_is_bit_exact(self, traced, trained_model):
+        _, _, sequences, result = traced
+        bare = engine_at_level(
+            trained_model, OptimizationLevel.FIXED_POINT,
+            sequence_length=TEST_SEQUENCE_LENGTH,
+        )
+        assert np.array_equal(
+            bare.infer_batch(sequences).probabilities, result.probabilities
+        )
+
+
+class TestEveryMetricIsDocumented:
+    def test_source_literals_appear_in_doc(self):
+        doc_text = DOC.read_text()
+        pattern = re.compile(r'"(repro_[a-z0-9_]+)"')
+        undocumented = set()
+        for path in sorted(SRC.rglob("*.py")):
+            for name in pattern.findall(path.read_text()):
+                if name not in doc_text:
+                    undocumented.add(f"{name} ({path.relative_to(REPO_ROOT)})")
+        assert not undocumented, (
+            "metrics emitted but missing from docs/observability.md:\n  "
+            + "\n  ".join(sorted(undocumented))
+        )
+
+    def test_doc_metrics_exist_in_source(self):
+        # the reverse direction: the doc may not promise metrics nothing emits
+        doc_names = set(re.findall(r"`(repro_[a-z0-9_]+)`", DOC.read_text()))
+        source_text = "\n".join(
+            path.read_text() for path in sorted(SRC.rglob("*.py"))
+        )
+        stale = {name for name in doc_names if f'"{name}"' not in source_text}
+        assert not stale, f"documented but never emitted: {sorted(stale)}"

@@ -1,0 +1,118 @@
+"""Unit tests for exporters and the Telemetry facade lifecycle."""
+
+import json
+
+from repro.telemetry import (
+    SCHEMA,
+    InMemoryExporter,
+    JsonLinesExporter,
+    PrometheusFileExporter,
+    Telemetry,
+    metric_events,
+    render_prometheus,
+    span_events,
+)
+
+
+def populated_telemetry(exporters=()):
+    telemetry = Telemetry(exporters=exporters)
+    telemetry.counter("repro_reads_total", op="read").inc(3)
+    telemetry.gauge("repro_used_bytes").set(512)
+    hist = telemetry.histogram("repro_latency_cycles", buckets=(1, 2, 4))
+    hist.observe(1)
+    hist.observe(3, count=2)
+    root = telemetry.record_span("root", 0, 100, attributes={"k": 1})
+    telemetry.record_span("kid", 0, 40, parent=root)
+    return telemetry
+
+
+class TestEventStream:
+    def test_every_event_is_schema_stamped(self):
+        telemetry = populated_telemetry()
+        events = telemetry.events()
+        assert events, "expected a non-empty stream"
+        assert all(e["schema"] == SCHEMA for e in events)
+
+    def test_metric_events_mirror_snapshot(self):
+        telemetry = populated_telemetry()
+        events = metric_events(telemetry.metrics)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["repro_reads_total"]["value"] == 3
+        assert by_name["repro_reads_total"]["labels"] == {"op": "read"}
+        assert by_name["repro_used_bytes"]["value"] == 512
+        hist = by_name["repro_latency_cycles"]
+        assert hist["count"] == 3
+        assert hist["buckets"] == [[1, 1], [2, 1], [4, 3], ["+Inf", 3]]
+
+    def test_span_events_link_parent_ids(self):
+        telemetry = populated_telemetry()
+        events = span_events(telemetry.tracer)
+        root, kid = events
+        assert root["name"] == "root" and root["parent_id"] is None
+        assert kid["name"] == "kid" and kid["parent_id"] == root["span_id"]
+        assert root["attributes"] == {"k": 1}
+        assert (kid["start_cycle"], kid["end_cycle"]) == (0, 40)
+
+
+class TestInMemoryExporter:
+    def test_collects_and_filters_by_type(self):
+        exporter = InMemoryExporter()
+        telemetry = populated_telemetry(exporters=[exporter])
+        telemetry.close()
+        assert exporter.closed
+        assert len(exporter.by_type("span")) == 2
+        assert len(exporter.by_type("counter")) == 1
+
+    def test_close_is_idempotent(self):
+        exporter = InMemoryExporter()
+        telemetry = populated_telemetry(exporters=[exporter])
+        telemetry.close()
+        events_after_first_close = len(exporter.events)
+        telemetry.close()  # must not re-export
+        assert len(exporter.events) == events_after_first_close
+
+
+class TestJsonLinesExporter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        telemetry = populated_telemetry(exporters=[JsonLinesExporter(path)])
+        telemetry.emit({"type": "bench_report", "title": "t", "lines": ["a"]})
+        telemetry.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(e["schema"] == SCHEMA for e in events)
+        types = [e["type"] for e in events]
+        assert types[0] == "bench_report"  # streamed before the final export
+        assert "counter" in types and "span" in types and "histogram" in types
+
+    def test_output_is_byte_stable(self, tmp_path):
+        texts = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            telemetry = populated_telemetry(exporters=[JsonLinesExporter(path)])
+            telemetry.close()
+            texts.append(path.read_text())
+        assert texts[0] == texts[1]
+
+
+class TestPrometheusRendition:
+    def test_counter_gauge_histogram_series(self):
+        telemetry = populated_telemetry()
+        text = render_prometheus(telemetry.events())
+        assert "# TYPE repro_reads_total counter" in text
+        assert 'repro_reads_total{op="read"} 3' in text
+        assert "# TYPE repro_used_bytes gauge" in text
+        assert "repro_used_bytes 512" in text
+        assert 'repro_latency_cycles_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_cycles_sum 7" in text
+        assert "repro_latency_cycles_count 3" in text
+        # spans are not a Prometheus type and must not leak in
+        assert "root" not in text and "span" not in text
+
+    def test_file_exporter_writes_rendition(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        telemetry = populated_telemetry(exporters=[PrometheusFileExporter(path)])
+        telemetry.close()
+        assert path.read_text() == render_prometheus(telemetry.events())
+
+    def test_empty_stream_renders_empty(self):
+        assert render_prometheus([]) == ""

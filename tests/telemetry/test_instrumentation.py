@@ -1,0 +1,185 @@
+"""Hot-path instrumentation: every hook fires, and only when attached."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationLevel
+from repro.core.engine import engine_at_level
+from repro.hw.axi import AxiMasterPort, TransferError
+from repro.hw.dataflow import StageTiming
+from repro.hw.faults import DmaErrorFault, FaultPlan, retry_dma
+from repro.hw.sim import simulate_item_pipeline
+from repro.hw.smartssd import SmartSSD
+from repro.ransomware.detector import RansomwareDetector
+from repro.telemetry import Telemetry
+from tests.conftest import TEST_SEQUENCE_LENGTH
+
+
+@pytest.fixture
+def engine(trained_model):
+    return engine_at_level(
+        trained_model, OptimizationLevel.FIXED_POINT,
+        sequence_length=TEST_SEQUENCE_LENGTH,
+    )
+
+
+def batch(rng, rows=4):
+    return rng.integers(0, 278, size=(rows, TEST_SEQUENCE_LENGTH))
+
+
+class TestEngineInstrumentation:
+    def test_infer_batch_counts_and_histograms(self, engine, rng):
+        telemetry = Telemetry()
+        engine.attach_telemetry(telemetry)
+        engine.infer_batch(batch(rng, rows=4))
+        opt = engine.config.optimization.name
+        assert telemetry.counter("repro_batches_total").value == 1
+        assert (
+            telemetry.counter("repro_sequences_processed_total", optimization=opt).value
+            == 4
+        )
+        assert (
+            telemetry.counter("repro_items_processed_total", optimization=opt).value
+            == 4 * TEST_SEQUENCE_LENGTH
+        )
+        assert telemetry.histogram("repro_batch_size").count == 1
+        for kernel in ("kernel_preprocess", "kernel_gates", "kernel_hidden_state"):
+            hist = telemetry.histogram("repro_kernel_latency_cycles", kernel=kernel)
+            assert hist.count == 4, kernel
+        assert telemetry.histogram("repro_sequence_latency_cycles").count == 4
+
+    def test_span_tree_has_one_cu_child_per_configured_cu(self, engine, rng):
+        telemetry = Telemetry()
+        engine.attach_telemetry(telemetry)
+        engine.infer_batch(batch(rng, rows=2))
+        (root,) = telemetry.tracer.roots
+        assert root.name == "csd.infer_batch"
+        assert root.attributes["batch_size"] == 2
+        gates = next(c for c in root.children if c.name == "csd.gates")
+        assert len(gates.children) == engine.config.num_gate_cus
+
+    def test_disabled_path_records_nothing_and_stays_bit_exact(self, engine, trained_model, rng):
+        sequences = batch(rng, rows=8)
+        bare = engine.infer_batch(sequences).probabilities
+        instrumented = engine_at_level(
+            trained_model, OptimizationLevel.FIXED_POINT,
+            sequence_length=TEST_SEQUENCE_LENGTH,
+        )
+        telemetry = Telemetry()
+        instrumented.attach_telemetry(telemetry)
+        observed = instrumented.infer_batch(sequences).probabilities
+        assert np.array_equal(bare, observed)
+        assert engine.telemetry is None
+
+    def test_infer_from_storage_records_p2p_span(self, engine):
+        telemetry = Telemetry()
+        device = SmartSSD()
+        engine.attach_storage(device)
+        engine.attach_telemetry(telemetry)
+        sequence = np.zeros(TEST_SEQUENCE_LENGTH, dtype=np.int64)
+        device.ssd.write_object("window", sequence.nbytes)
+        engine.infer_from_storage("window", sequence)
+        dma_roots = [r for r in telemetry.tracer.roots if r.name == "csd.p2p_dma"]
+        assert len(dma_roots) == 1
+        assert dma_roots[0].attributes["route"] == "p2p"
+        assert dma_roots[0].attributes["key"] == "window"
+
+
+class TestAxiInstrumentation:
+    def test_reads_and_writes_mirror_port_counters(self):
+        telemetry = Telemetry()
+        port = AxiMasterPort(name="gmem0")
+        port.telemetry = telemetry
+        port.read_cycles(256)
+        port.read_cycles(64)
+        port.write_cycles(128)
+        reads = telemetry.counter("repro_axi_bytes_total", port="gmem0", op="read")
+        writes = telemetry.counter("repro_axi_bytes_total", port="gmem0", op="write")
+        assert reads.value + writes.value == port.bytes_transferred
+        assert (
+            telemetry.counter("repro_axi_transfers_total", port="gmem0", op="read").value
+            == 2
+        )
+        hist = telemetry.histogram("repro_axi_transfer_cycles", port="gmem0", op="read")
+        assert hist.count == 2
+
+    def test_zero_byte_transfer_records_nothing(self):
+        telemetry = Telemetry()
+        port = AxiMasterPort(name="gmem0")
+        port.telemetry = telemetry
+        port.read_cycles(0)
+        assert len(telemetry.metrics) == 0
+
+
+class TestStorageInstrumentation:
+    def test_routes_and_dram_gauge(self):
+        telemetry = Telemetry()
+        device = SmartSSD()
+        device.telemetry = telemetry
+        device.ssd.write_object("x", 4096)
+        device.host_load_weights(1024)
+        device.p2p_fetch("x")
+        assert (
+            telemetry.counter("repro_storage_bytes_total", route="host_to_fpga").value
+            == 1024
+        )
+        assert telemetry.counter("repro_storage_bytes_total", route="p2p").value == 4096
+        assert (
+            telemetry.histogram("repro_storage_transfer_seconds", route="p2p").count == 1
+        )
+        gauge = telemetry.gauge("repro_fpga_dram_used_bytes")
+        assert gauge.value == 1024 + 4096
+        device.release_fpga_dram(4096)
+        assert gauge.value == 1024
+
+
+class TestDmaRetryInstrumentation:
+    def test_retry_then_success(self):
+        telemetry = Telemetry()
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=2))
+        used = retry_dma(plan, attempts=3, telemetry=telemetry)
+        assert used == 3
+        assert telemetry.counter("repro_dma_attempts_total").value == 3
+        assert telemetry.counter("repro_dma_retries_total").value == 2
+        assert telemetry.counter("repro_dma_failures_total").value == 0
+
+    def test_budget_exhaustion_counts_a_failure(self):
+        telemetry = Telemetry()
+        plan = FaultPlan(dma_error=DmaErrorFault(failures=5))
+        with pytest.raises(TransferError):
+            retry_dma(plan, attempts=2, telemetry=telemetry)
+        assert telemetry.counter("repro_dma_attempts_total").value == 2
+        assert telemetry.counter("repro_dma_retries_total").value == 1
+        assert telemetry.counter("repro_dma_failures_total").value == 1
+
+
+class TestSimInstrumentation:
+    def test_pipeline_reports_events_and_stage_cycles(self):
+        telemetry = Telemetry()
+        timing = StageTiming(preprocess=10, gates=5, hidden_state=20)
+        simulate_item_pipeline(timing, num_items=6, preemptive=True,
+                               telemetry=telemetry)
+        assert telemetry.counter("repro_sim_events_total").value > 0
+        pre = telemetry.histogram("repro_sim_stage_cycles", stage="preprocess")
+        compute = telemetry.histogram("repro_sim_stage_cycles", stage="compute")
+        assert pre.count == 6
+        assert compute.count == 6
+
+
+class TestDetectorInstrumentation:
+    def test_evaluate_and_observe_counters(self, engine, tiny_split):
+        telemetry = Telemetry()
+        engine.attach_telemetry(telemetry)
+        detector = RansomwareDetector(engine, threshold=0.5)
+        _, test = tiny_split
+        subset = test.subset(np.arange(6))
+        detector.evaluate(subset)
+        assert telemetry.counter("repro_detector_evaluations_total").value == 1
+        assert telemetry.counter("repro_detector_windows_total").value == 6
+        for token in subset.sequences[0]:
+            detector.observe(int(token))
+        verdicts = sum(
+            telemetry.counter("repro_detector_verdicts_total", verdict=v).value
+            for v in ("ransomware", "benign")
+        )
+        assert verdicts == 1  # exactly one full window was classified

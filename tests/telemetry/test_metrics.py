@@ -1,0 +1,165 @@
+"""Unit tests for counters, gauges, and fixed-bucket histograms."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.metrics import default_buckets_for
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro_things_total", {})
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        c = Counter("repro_things_total", {})
+        with pytest.raises(ValueError, match="only increase"):
+            c.inc(-1)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            Counter("c", {"": "x"})
+        with pytest.raises(ValueError):
+            Counter("c", {"k": object()})
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("repro_used_bytes", {})
+        g.set(100)
+        g.add(-30)
+        assert g.value == 70
+
+
+class TestHistogramBucketing:
+    """Prometheus ``le`` semantics: first bucket with bound >= value."""
+
+    def test_observation_lands_in_le_bucket(self):
+        h = Histogram("h_cycles", {}, buckets=(1, 2, 4, 8))
+        h.observe(1)   # le=1
+        h.observe(2)   # le=2
+        h.observe(3)   # le=4 (first bound >= 3)
+        h.observe(8)   # le=8 — boundary is inclusive
+        h.observe(9)   # +Inf overflow
+        assert h.bucket_counts == [1, 1, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == 1 + 2 + 3 + 8 + 9
+
+    def test_cumulative_buckets_end_with_inf_total(self):
+        h = Histogram("h_cycles", {}, buckets=(1, 2, 4))
+        for value in (1, 1, 3, 100):
+            h.observe(value)
+        assert h.cumulative_buckets() == [(1, 2), (2, 2), (4, 3), ("+Inf", 4)]
+
+    def test_count_parameter_folds_identical_observations(self):
+        folded = Histogram("h", {}, buckets=(10,))
+        looped = Histogram("h", {}, buckets=(10,))
+        folded.observe(7, count=64)
+        for _ in range(64):
+            looped.observe(7)
+        assert folded.bucket_counts == looped.bucket_counts
+        assert folded.count == looped.count == 64
+        assert folded.sum == looped.sum == 7 * 64
+
+    def test_count_must_be_positive(self):
+        h = Histogram("h", {}, buckets=(1,))
+        with pytest.raises(ValueError, match="count"):
+            h.observe(1, count=0)
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", {}, buckets=(1, 1, 2))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", {}, buckets=())
+
+
+class TestHistogramMerge:
+    def test_merge_is_exact_elementwise_addition(self):
+        a = Histogram("h", {}, buckets=(1, 2, 4))
+        b = Histogram("h", {}, buckets=(1, 2, 4))
+        a.observe(1)
+        a.observe(3)
+        b.observe(2, count=5)
+        b.observe(100)
+        a.merge(b)
+        assert a.count == 8
+        assert a.sum == 1 + 3 + 2 * 5 + 100
+        assert a.bucket_counts == [1, 5, 1, 1]
+
+    def test_merge_order_independent(self):
+        def shard(values):
+            h = Histogram("h", {}, buckets=(1, 2, 4))
+            for v in values:
+                h.observe(v)
+            return h
+
+        ab = shard([1, 3])
+        ab.merge(shard([2, 8]))
+        ba = shard([2, 8])
+        ba.merge(shard([1, 3]))
+        assert ab.bucket_counts == ba.bucket_counts
+        assert ab.count == ba.count
+        assert ab.sum == ba.sum
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram("h", {}, buckets=(1, 2))
+        b = Histogram("h", {}, buckets=(1, 2, 4))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+
+class TestDefaultBuckets:
+    def test_unit_suffix_selects_buckets(self):
+        assert default_buckets_for("x_cycles") is DEFAULT_CYCLE_BUCKETS
+        assert default_buckets_for("x_seconds") is DEFAULT_SECONDS_BUCKETS
+        assert default_buckets_for("x_bytes") is DEFAULT_SIZE_BUCKETS
+
+    def test_cycle_buckets_cover_one_cycle_to_a_million(self):
+        assert DEFAULT_CYCLE_BUCKETS[0] == 1
+        assert DEFAULT_CYCLE_BUCKETS[-1] == 2 ** 20
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        a = reg.counter("repro_x_total", op="read")
+        b = reg.counter("repro_x_total", op="read")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x_total", op="read")
+        reg.counter("repro_x_total", op="write")
+        assert len(reg) == 2
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_snapshot_is_sorted_and_plain_data(self):
+        reg = MetricRegistry()
+        reg.counter("b_total").inc(2)
+        reg.gauge("a_bytes").set(7)
+        reg.histogram("c_cycles").observe(3)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap] == ["a_bytes", "b_total", "c_cycles"]
+        assert snap[0] == {"type": "gauge", "name": "a_bytes", "labels": {}, "value": 7}
+        assert snap[1] == {"type": "counter", "name": "b_total", "labels": {}, "value": 2}
+        hist = snap[2]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 1 and hist["sum"] == 3
+        assert hist["buckets"][-1] == ["+Inf", 1]

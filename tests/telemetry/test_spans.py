@@ -1,0 +1,87 @@
+"""Unit tests for the span tracer: nesting, iteration, rendering."""
+
+import pytest
+
+from repro.telemetry import Span, Tracer
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("s", 10, 25).duration_cycles == 15
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError, match="ends .* before"):
+            Span("s", 10, 5)
+
+    def test_zero_length_span_allowed(self):
+        assert Span("s", 7, 7).duration_cycles == 0
+
+
+class TestTracerNesting:
+    def test_parent_child_structure(self):
+        tracer = Tracer()
+        root = tracer.record("root", 0, 100, attributes={"k": "v"})
+        child = tracer.record("child", 0, 40, parent=root)
+        tracer.record("grandchild", 10, 20, parent=child)
+        assert tracer.roots == [root]
+        assert [c.name for c in root.children] == ["child"]
+        assert [c.name for c in child.children] == ["grandchild"]
+        assert root.attributes == {"k": "v"}
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        tracer.record("a", 0, 1)
+        tracer.record("b", 0, 2)
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_clear_drops_everything(self):
+        tracer = Tracer()
+        tracer.record("a", 0, 1)
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_iter_spans_is_depth_first_with_parents(self):
+        tracer = Tracer()
+        root = tracer.record("root", 0, 100)
+        left = tracer.record("left", 0, 50, parent=root)
+        tracer.record("left.leaf", 0, 10, parent=left)
+        tracer.record("right", 50, 100, parent=root)
+        walk = [(s.name, p.name if p else None) for s, p in tracer.iter_spans()]
+        assert walk == [
+            ("root", None),
+            ("left", "root"),
+            ("left.leaf", "left"),
+            ("right", "root"),
+        ]
+
+
+class TestRenderTree:
+    def test_names_only_rendition(self):
+        tracer = Tracer()
+        root = tracer.record("root", 0, 100)
+        a = tracer.record("a", 0, 10, parent=root)
+        tracer.record("a.1", 0, 5, parent=a)
+        tracer.record("a.2", 5, 10, parent=a)
+        tracer.record("b", 10, 100, parent=root)
+        assert tracer.render_tree() == (
+            "root\n"
+            "├─ a\n"
+            "│  ├─ a.1\n"
+            "│  └─ a.2\n"
+            "└─ b"
+        )
+
+    def test_cycles_rendition_appends_intervals(self):
+        tracer = Tracer()
+        root = tracer.record("root", 0, 3)
+        tracer.record("kid", 1, 2, parent=root)
+        assert tracer.render_tree(cycles=True) == (
+            "root [0, 3)\n"
+            "└─ kid [1, 2)"
+        )
+
+    def test_render_specific_root(self):
+        tracer = Tracer()
+        tracer.record("a", 0, 1)
+        b = tracer.record("b", 0, 2)
+        assert tracer.render_tree(root=b) == "b"
