@@ -1,0 +1,129 @@
+"""Serving scenario — a CSD fleet under live traffic (ROADMAP north star).
+
+The fleet-sizing bench answers the *static* capacity question; this one
+serves actual request streams through the deterministic discrete-event
+simulator: an arrival-rate sweep mapping offered load to p50/p99
+end-to-end latency, shed rate, and device utilisation, plus a
+fault-injected run where a drive dies mid-experiment and its streams
+fail over through the planner's rebalance.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import record_report
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.fleet import FleetPlanner, MonitoredStream
+from repro.core.serving import (
+    FleetServer,
+    ServingConfig,
+    build_fleet,
+    generate_workload,
+)
+from repro.core.throughput import throughput_report
+from repro.core.weights import HostWeights
+from repro.hw.faults import DeviceFailFault, FaultPlan
+
+SEQUENCE_LENGTH = 100
+DURATION_US = 150_000
+NUM_DEVICES = 2
+NUM_STREAMS = 6
+
+SERVING = ServingConfig(
+    max_batch=16, max_wait_us=1_000, queue_depth=64,
+    timeout_us=50_000, max_retries=2,
+)
+
+
+def _serve(model, calls_per_second, fault_plans=None, telemetry=None):
+    weights = HostWeights.from_model(model)
+    config = EngineConfig(
+        dimensions=dataclasses.replace(
+            weights.dimensions, sequence_length=SEQUENCE_LENGTH
+        ),
+        optimization=OptimizationLevel.FIXED_POINT,
+    )
+    engines = build_fleet(weights, NUM_DEVICES, config=config)
+    streams = [
+        MonitoredStream(f"host{i}", calls_per_second, detection_stride=10)
+        for i in range(NUM_STREAMS)
+    ]
+    planner = FleetPlanner(throughput_report(engines[0]), headroom=0.9)
+    workload = generate_workload(
+        streams, duration_us=DURATION_US, sequence_length=SEQUENCE_LENGTH,
+        seed=11,
+    )
+    server = FleetServer(
+        engines, streams, SERVING, planner=planner,
+        fault_plans=fault_plans, telemetry=telemetry,
+    )
+    return server.serve(workload)
+
+
+def bench_fleet_serving_rate_sweep(benchmark, bench_model, bench_telemetry):
+    """Offered-load sweep: latency and shed rate vs arrival rate."""
+    rates = (8_000.0, 20_000.0, 36_000.0)
+    reports = {}
+    for rate in rates[:-1]:
+        reports[rate] = _serve(bench_model, rate)
+    reports[rates[-1]] = benchmark(
+        lambda: _serve(bench_model, rates[-1], telemetry=bench_telemetry)
+    )
+
+    lines = [
+        f"{NUM_DEVICES} devices, {NUM_STREAMS} streams, "
+        f"{DURATION_US / 1000:.0f} ms simulated, max_batch={SERVING.max_batch}, "
+        f"max_wait={SERVING.max_wait_us} us",
+        f"{'calls/s/stream':>15} {'offered':>8} {'p50 us':>8} {'p99 us':>8} "
+        f"{'shed':>6} {'util0':>6} {'util1':>6}",
+    ]
+    for rate in rates:
+        report = reports[rate]
+        util = report.device_utilization()
+        lines.append(
+            f"{rate:>15.0f} {report.offered:>8d} "
+            f"{report.latency_percentile_us(50):>8.0f} "
+            f"{report.latency_percentile_us(99):>8.0f} "
+            f"{report.shed_rate:>6.1%} {util[0]:>6.1%} {util[1]:>6.1%}"
+        )
+    record_report("Scenario: fleet serving under load (arrival-rate sweep)", lines)
+
+    light, heavy = reports[rates[0]], reports[rates[-1]]
+    assert light.completed_count == light.offered  # light load: nothing shed
+    assert heavy.offered > light.offered
+    # Latency is monotone in offered load at fixed capacity.
+    assert (heavy.latency_percentile_us(99)
+            >= light.latency_percentile_us(99))
+    assert all(u <= 1.0 + 1e-9 for u in heavy.device_utilization())
+
+
+def bench_fleet_serving_failover(benchmark, bench_model):
+    """A drive dies mid-run; its streams fail over and service continues."""
+    rate = 36_000.0
+    fault_plans = {
+        0: FaultPlan(device_fail=DeviceFailFault(at_us=DURATION_US // 2)),
+    }
+    healthy = _serve(bench_model, rate)
+    degraded = benchmark(lambda: _serve(bench_model, rate, fault_plans=fault_plans))
+
+    survivor_util = degraded.device_utilization()[1]
+    lines = [
+        f"device 0 killed at {DURATION_US // 2 / 1000:.0f} ms "
+        f"(of {DURATION_US / 1000:.0f} ms)",
+        f"healthy : completed {healthy.completed_count}/{healthy.offered}, "
+        f"p99 {healthy.latency_percentile_us(99):.0f} us, "
+        f"shed {healthy.shed_rate:.1%}",
+        f"degraded: completed {degraded.completed_count}/{degraded.offered}, "
+        f"p99 {degraded.latency_percentile_us(99):.0f} us, "
+        f"shed {degraded.shed_rate:.1%}, "
+        f"failovers {degraded.retries.get('failover', 0)}, "
+        f"survivor utilization {survivor_util:.1%}",
+    ]
+    record_report("Scenario: fleet serving with mid-run device failure", lines)
+
+    assert degraded.device_failures == 1
+    # Service continues after the failure: completions keep happening in
+    # the second half of the run.
+    late = [c for c in degraded.completed if c.completion_us > DURATION_US // 2]
+    assert late, "no completions after the device failure"
+    assert all(c.device != 0 for c in late)
+    assert degraded.completed_count <= healthy.completed_count

@@ -9,7 +9,10 @@ Commands cover the operational loop a data-center operator would run:
 * ``scan``     — sandbox one ransomware family variant and stream it
   through a deployed detector, reporting the alarm point;
 * ``report``   — print the Vitis-style emulation report for a
-  configuration (utilisation + per-kernel timing).
+  configuration (utilisation + per-kernel timing);
+* ``fleet-serve`` — run the deterministic multi-device serving
+  simulator (dynamic batching, bounded queues, timeout/failover) over a
+  seeded synthetic workload and print latency/shed/utilisation figures.
 
 The global ``--telemetry <path>`` flag (before the subcommand) records
 structured telemetry — counters, latency histograms, and kernel-level
@@ -185,6 +188,108 @@ def _run_report(args) -> int:
     return 0
 
 
+def _add_fleet_serve_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-serve",
+        help="simulate serving a monitored-stream workload on a CSD fleet",
+    )
+    parser.add_argument("weights", help="weight file from the train command")
+    parser.add_argument("--devices", type=int, default=2)
+    parser.add_argument("--streams", type=int, default=8,
+                        help="number of monitored streams")
+    parser.add_argument("--calls-per-second", type=float, default=20_000.0,
+                        help="API-call rate of each monitored stream")
+    parser.add_argument("--stride", type=int, default=10,
+                        help="detection stride (calls per window)")
+    parser.add_argument("--duration-ms", type=int, default=200)
+    parser.add_argument("--sequence-length", type=int, default=100)
+    parser.add_argument("--optimization", choices=[l.name for l in OptimizationLevel],
+                        default="FIXED_POINT")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-wait-us", type=int, default=2_000)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--timeout-us", type=int, default=50_000)
+    parser.add_argument("--max-retries", type=int, default=2)
+    parser.add_argument("--headroom", type=float, default=0.8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--kill-device", type=int, default=None,
+                        help="inject a device failure at --kill-at-ms")
+    parser.add_argument("--kill-at-ms", type=int, default=None,
+                        help="when the injected failure strikes (default: mid-run)")
+    parser.set_defaults(handler=_run_fleet_serve)
+
+
+def _run_fleet_serve(args) -> int:
+    import dataclasses as _dc
+
+    from repro.core.fleet import FleetPlanner, MonitoredStream
+    from repro.core.serving import (
+        FleetServer,
+        ServingConfig,
+        build_fleet,
+        generate_workload,
+    )
+    from repro.core.throughput import throughput_report
+    from repro.core.weights import HostWeights
+    from repro.hw.faults import DeviceFailFault, FaultPlan
+
+    weights = HostWeights.from_file(args.weights)
+    dims = _dc.replace(weights.dimensions, sequence_length=args.sequence_length)
+    config = EngineConfig(
+        dimensions=dims, optimization=OptimizationLevel[args.optimization]
+    )
+    engines = build_fleet(weights, args.devices, config=config)
+    streams = [
+        MonitoredStream(f"stream{i}", args.calls_per_second,
+                        detection_stride=args.stride)
+        for i in range(args.streams)
+    ]
+    planner = FleetPlanner(throughput_report(engines[0]), headroom=args.headroom)
+    duration_us = args.duration_ms * 1000
+    fault_plans = {}
+    if args.kill_device is not None:
+        kill_at_us = (args.kill_at_ms * 1000 if args.kill_at_ms is not None
+                      else duration_us // 2)
+        fault_plans[args.kill_device] = FaultPlan(
+            device_fail=DeviceFailFault(at_us=kill_at_us)
+        )
+    workload = generate_workload(
+        streams, duration_us=duration_us,
+        sequence_length=args.sequence_length,
+        vocab_size=dims.vocab_size, seed=args.seed,
+    )
+    server = FleetServer(
+        engines, streams,
+        ServingConfig(
+            max_batch=args.max_batch, max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth, timeout_us=args.timeout_us,
+            max_retries=args.max_retries,
+        ),
+        planner=planner, fault_plans=fault_plans,
+        telemetry=getattr(args, "_telemetry", None),
+    )
+    report = server.serve(workload)
+    print(f"fleet: {args.devices} devices, {args.streams} streams x "
+          f"{args.calls_per_second:.0f} calls/s (stride {args.stride}), "
+          f"{args.duration_ms} ms simulated")
+    print(f"offered {report.offered}  completed {report.completed_count}  "
+          f"shed {report.shed_count} ({report.shed_rate:.1%})")
+    if report.shed:
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(report.shed.items()))
+        print(f"shed breakdown: {breakdown}")
+    if report.retries:
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(report.retries.items()))
+        print(f"retries: {breakdown}")
+    if report.completed:
+        print(f"latency p50 {report.latency_percentile_us(50):.0f} us  "
+              f"p99 {report.latency_percentile_us(99):.0f} us")
+    for index, utilization in enumerate(report.device_utilization()):
+        print(f"device {index}: utilization {utilization:.1%}")
+    if report.device_failures:
+        print(f"device failures injected: {report.device_failures}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate_command(subparsers)
     _add_scan_command(subparsers)
     _add_report_command(subparsers)
+    _add_fleet_serve_command(subparsers)
     return parser
 
 

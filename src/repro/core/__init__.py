@@ -12,6 +12,15 @@ from repro.core.config import (
 )
 from repro.core.engine import CSDInferenceEngine, InferenceResult, engine_at_level
 from repro.core.fleet import FleetPlan, FleetPlanner, MonitoredStream
+from repro.core.serving import (
+    CompletedRequest,
+    FleetServer,
+    ServingConfig,
+    ServingReport,
+    ServingRequest,
+    build_fleet,
+    generate_workload,
+)
 from repro.core.throughput import ThroughputReport, throughput_report
 from repro.core.mixed_precision import (
     MixedPrecisionLstm,
@@ -30,9 +39,11 @@ from repro.core.weights import HostWeights, QuantizedHostWeights
 
 __all__ = [
     "CSDInferenceEngine",
+    "CompletedRequest",
     "EngineConfig",
     "FleetPlan",
     "FleetPlanner",
+    "FleetServer",
     "GATE_NAMES",
     "HostWeights",
     "InferenceResult",
@@ -45,10 +56,15 @@ __all__ = [
     "OptimizationLevel",
     "PolicyEvaluation",
     "QuantizedHostWeights",
+    "ServingConfig",
+    "ServingReport",
+    "ServingRequest",
     "StreamingReport",
     "ThroughputReport",
+    "build_fleet",
     "engine_at_level",
     "evaluate_policy",
+    "generate_workload",
     "kernel_breakdown",
     "optimization_sweep",
     "streaming_report",

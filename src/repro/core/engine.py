@@ -481,7 +481,20 @@ class CSDInferenceEngine:
 
     def per_item_microseconds(self) -> float:
         """The paper's per-forward-pass figure for this configuration."""
-        timing = build_inference_timing(
+        return self.analytic_timing().per_item_microseconds
+
+    def sequence_microseconds(self) -> float:
+        """Whole-sequence simulated latency (pipeline overlap + FC epilogue).
+
+        This is the per-request service time the fleet serving simulator
+        charges: the modeled FPGA runs sequences item by item, so a batch
+        of N occupies the device for N of these.
+        """
+        return self.analytic_timing().sequence_microseconds
+
+    def analytic_timing(self) -> InferenceTiming:
+        """The closed-form :class:`InferenceTiming` for this configuration."""
+        return build_inference_timing(
             self.config,
             self.preprocess.timing(),
             self.gates.timing(),
@@ -489,7 +502,6 @@ class CSDInferenceEngine:
             self.hidden_state.classification_cycles(),
             self.device.clock,
         )
-        return timing.per_item_microseconds
 
 
 def engine_at_level(

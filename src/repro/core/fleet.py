@@ -72,7 +72,8 @@ class FleetPlan:
 
     @property
     def peak_utilization(self) -> float:
-        return max(a.utilization for a in self.assignments)
+        """Highest per-device utilisation (0.0 for an empty fleet)."""
+        return max((a.utilization for a in self.assignments), default=0.0)
 
     def device_of(self, stream_name: str) -> int:
         for assignment in self.assignments:

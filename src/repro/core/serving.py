@@ -1,0 +1,635 @@
+"""Fleet serving simulator: queueing, dynamic batching, failover.
+
+The paper positions the SmartSSD as "a scalable solution ... allowing for
+the installation of multiple devices within a single node"; the ROADMAP's
+north star is serving heavy traffic across such a fleet.  This module is
+the load-bearing subsystem for that claim: a deterministic discrete-event
+simulator that drives N simulated CSD devices from per-stream request
+queues, on the same simulated clock as everything else in the repo —
+no wall clock anywhere, so two runs with one seed produce *identical*
+event logs, metrics, and probabilities.
+
+Mechanics
+---------
+* **Dynamic batching** — each device accumulates pending windows and
+  executes them as one :meth:`~repro.core.engine.CSDInferenceEngine.infer_batch`
+  call once ``max_batch`` requests are waiting or the oldest has waited
+  ``max_wait_us``; the numeric results are bit-exact with calling
+  ``infer_batch`` directly on the same windows (the batch path *is* the
+  direct path).
+* **Admission control** — per-device queues are bounded at
+  ``queue_depth``; arrivals beyond the bound are shed explicitly and
+  counted, never silently dropped.
+* **Timeout + retry-with-failover** — a request whose attempt has waited
+  past ``timeout_us`` is retried on the least-loaded healthy device; a
+  :class:`~repro.hw.faults.FaultPlan` device failure kills a drive
+  mid-run, aborts its in-flight batch, fails over its queue, and
+  re-routes its streams using
+  :meth:`~repro.core.fleet.FleetPlanner.rebalance_after_failure`.
+* **Telemetry** — full instrumentation under the ``repro.telemetry/v1``
+  contract (see ``docs/observability.md`` and ``docs/serving.md``):
+  queue-depth gauges, batch-size and end-to-end latency histograms,
+  shed/retry counters, and per-device ``serve.batch`` spans on the
+  simulated microsecond timeline.
+
+Time is integer simulated microseconds throughout, driven by the same
+:class:`~repro.hw.sim.Simulator` event core the pipeline cross-validation
+uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.fleet import FleetPlan, FleetPlanner, MonitoredStream
+from repro.hw.faults import FaultPlan
+from repro.hw.sim import Simulator
+
+#: Shed reasons (the ``reason`` label of ``repro_serve_shed_total``).
+SHED_QUEUE_FULL = "queue_full"
+SHED_NO_DEVICE = "no_device"
+SHED_RETRIES = "retries"
+
+#: Retry reasons (the ``reason`` label of ``repro_serve_retries_total``).
+RETRY_TIMEOUT = "timeout"
+RETRY_FAILOVER = "failover"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Policy knobs of the fleet server.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest dynamic batch a device executes in one ``infer_batch``.
+    max_wait_us:
+        Longest the oldest pending request may wait before a partial
+        batch is flushed (0 = flush immediately, no batching delay).
+    queue_depth:
+        Bound on each device's pending queue; arrivals beyond it are
+        shed with reason ``queue_full``.
+    timeout_us:
+        Per-attempt deadline: a request still queued this long after its
+        (re-)enqueue is pulled from the batch and retried elsewhere.
+        Should exceed ``max_wait_us`` or every request times out.
+    max_retries:
+        Additional attempts (timeout or failover) before a request is
+        shed with reason ``retries``.
+    """
+
+    max_batch: int = 16
+    max_wait_us: int = 2_000
+    queue_depth: int = 64
+    timeout_us: int = 50_000
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.timeout_us <= 0:
+            raise ValueError(f"timeout_us must be positive, got {self.timeout_us}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclasses.dataclass
+class ServingRequest:
+    """One window awaiting classification."""
+
+    request_id: int
+    stream: str
+    sequence: np.ndarray
+    arrival_us: int
+    attempts: int = 0
+    enqueued_us: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletedRequest:
+    """A served request: where it ran, what it scored, when it finished."""
+
+    request_id: int
+    stream: str
+    sequence: np.ndarray
+    device: int
+    probability: float
+    arrival_us: int
+    completion_us: int
+    attempts: int
+
+    @property
+    def latency_us(self) -> int:
+        return self.completion_us - self.arrival_us
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingReport:
+    """Outcome of one simulated serving run."""
+
+    completed: tuple
+    shed: dict
+    retries: dict
+    device_failures: int
+    event_log: tuple
+    duration_us: int
+    device_busy_us: tuple
+    offered: int
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    @property
+    def shed_count(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests that were not served."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed_count / self.offered
+
+    def latencies_us(self) -> np.ndarray:
+        """Sorted end-to-end latencies of completed requests."""
+        return np.sort(
+            np.array([c.latency_us for c in self.completed], dtype=np.int64)
+        )
+
+    def latency_percentile_us(self, percentile: float) -> float:
+        """Nearest-rank percentile of completed end-to-end latency."""
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        latencies = self.latencies_us()
+        if latencies.size == 0:
+            return float("nan")
+        rank = max(1, math.ceil(percentile / 100.0 * latencies.size))
+        return float(latencies[rank - 1])
+
+    def device_utilization(self) -> tuple:
+        """Per-device busy fraction over the whole run."""
+        horizon = max(self.duration_us, 1)
+        return tuple(busy / horizon for busy in self.device_busy_us)
+
+
+def generate_workload(
+    streams,
+    duration_us: int,
+    sequence_length: int,
+    vocab_size: int = 278,
+    seed: int = 0,
+) -> list:
+    """Seeded per-stream Poisson arrivals with random windows.
+
+    Each :class:`~repro.core.fleet.MonitoredStream` produces windows at
+    its ``windows_per_second`` rate with exponential inter-arrivals from
+    an RNG derived from ``(seed, stream index)`` — fully reproducible,
+    independent of stream order elsewhere.  Returns
+    :class:`ServingRequest` objects sorted by ``(arrival_us, stream)``
+    with dense request ids.
+    """
+    if duration_us <= 0:
+        raise ValueError(f"duration_us must be positive, got {duration_us}")
+    pending = []
+    for index, stream in enumerate(streams):
+        rng = np.random.default_rng([seed, index])
+        mean_gap_us = 1e6 / stream.windows_per_second
+        clock = 0.0
+        while True:
+            clock += rng.exponential(mean_gap_us)
+            arrival = int(round(clock))
+            if arrival >= duration_us:
+                break
+            sequence = rng.integers(0, vocab_size, size=sequence_length,
+                                    dtype=np.int64)
+            pending.append((arrival, stream.name, sequence))
+    pending.sort(key=lambda item: (item[0], item[1]))
+    return [
+        ServingRequest(request_id=i, stream=name, sequence=seq, arrival_us=arrival)
+        for i, (arrival, name, seq) in enumerate(pending)
+    ]
+
+
+class _Device:
+    """One simulated drive: an engine, a bounded queue, a health flag."""
+
+    __slots__ = (
+        "index", "engine", "fault_plan", "service_us", "queue", "busy",
+        "dead", "current_batch", "batch_start_us", "busy_us", "batches",
+    )
+
+    def __init__(self, index: int, engine, fault_plan: FaultPlan):
+        self.index = index
+        self.engine = engine
+        self.fault_plan = fault_plan
+        self.service_us = engine.sequence_microseconds()
+        self.queue: list = []
+        self.busy = False
+        self.dead = False
+        self.current_batch = None   # (batch_id, [ServingRequest, ...])
+        self.batch_start_us = 0
+        self.busy_us = 0
+        self.batches = 0
+
+
+class FleetServer:
+    """Deterministic discrete-event server for a node's CSD fleet.
+
+    Parameters
+    ----------
+    engines:
+        One loaded :class:`~repro.core.engine.CSDInferenceEngine` per
+        simulated device; all must share the model dimensions.
+    streams:
+        The monitored streams (also the workload's rate model).
+    config:
+        Batching/queueing/retry policy.
+    planner:
+        Optional :class:`~repro.core.fleet.FleetPlanner`; when given,
+        streams are routed by its first-fit plan and device failures
+        re-route via ``rebalance_after_failure``.  When the plan (or a
+        rebalance) calls for more devices than the fleet has, the
+        overflow spills round-robin onto the healthy devices and
+        admission control sheds what the node cannot absorb.  Without a
+        planner, streams are routed round-robin and failover re-routes
+        round-robin over the healthy survivors.
+    fault_plans:
+        Mapping of device index to :class:`~repro.hw.faults.FaultPlan`;
+        ``device_fail`` / ``device_degrade`` faults drive the failover
+        and degradation paths.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; observation-only,
+        never alters scheduling or numerics.
+    """
+
+    def __init__(
+        self,
+        engines,
+        streams,
+        config: ServingConfig | None = None,
+        planner: FleetPlanner | None = None,
+        fault_plans: dict | None = None,
+        telemetry=None,
+    ):
+        engines = list(engines)
+        if not engines:
+            raise ValueError("a fleet needs at least one device")
+        dims = engines[0].config.dimensions
+        for engine in engines[1:]:
+            if engine.config.dimensions != dims:
+                raise ValueError("all fleet engines must share model dimensions")
+        self.config = config or ServingConfig()
+        self.streams = list(streams)
+        self.planner = planner
+        self.telemetry = telemetry
+        fault_plans = fault_plans or {}
+        self.devices = [
+            _Device(i, engine, fault_plans.get(i, FaultPlan()))
+            for i, engine in enumerate(engines)
+        ]
+        if telemetry is not None:
+            for engine in engines:
+                engine.attach_telemetry(telemetry)
+
+        self._plan: FleetPlan | None = None
+        if planner is not None:
+            self._plan = planner.plan(self.streams)
+            self._stream_device = self._resolve_routes(self._plan)
+        else:
+            self._stream_device = {
+                stream.name: i % len(self.devices)
+                for i, stream in enumerate(self.streams)
+            }
+
+        self._sim = Simulator()
+        self._events: list = []
+        self._completed: list = []
+        self._shed: dict = {}
+        self._retries: dict = {}
+        self._device_failures = 0
+        self._offered = 0
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _resolve_routes(self, plan: FleetPlan) -> dict:
+        """Map streams to physical devices, spilling oversubscribed plans.
+
+        The planner sizes an *ideal* fleet; this server has a fixed one.
+        Planned device indices beyond the physical fleet (an
+        oversubscribed plan or rebalance) spill round-robin onto the
+        healthy devices — admission control then sheds what the fleet
+        truly cannot absorb, which is the honest failure mode for an
+        undersized node.  Streams are unroutable only when no healthy
+        device exists at all.
+        """
+        healthy = [d.index for d in self.devices if not d.dead]
+        routes: dict = {}
+        for assignment in plan.assignments:
+            target = assignment.device_index
+            if target >= len(self.devices) or self.devices[target].dead:
+                if not healthy:
+                    continue
+                target = healthy[assignment.device_index % len(healthy)]
+            for stream in assignment.streams:
+                routes[stream.name] = target
+        return routes
+
+    def _routable_device(self, index) -> "_Device | None":
+        """The healthy physical device at ``index``, if any."""
+        if index is None or not 0 <= index < len(self.devices):
+            return None
+        device = self.devices[index]
+        return None if device.dead else device
+
+    def _healthy_devices(self, exclude: int | None = None) -> list:
+        devices = [d for d in self.devices if not d.dead and d.index != exclude]
+        if not devices:  # fall back to the excluded device if it is all we have
+            devices = [d for d in self.devices if not d.dead]
+        return devices
+
+    # ------------------------------------------------------------------
+    # Telemetry + event-log helpers (observation only)
+    # ------------------------------------------------------------------
+
+    def _log(self, kind: str, **details) -> None:
+        self._events.append(
+            (self._sim.now, kind, tuple(sorted(details.items())))
+        )
+
+    def _set_queue_gauge(self, device: _Device) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge(
+                "repro_serve_queue_depth", device=device.index
+            ).set(len(device.queue))
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+
+    def _arrive(self, request: ServingRequest) -> None:
+        self._offered += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("repro_serve_requests_total").inc()
+        self._log("arrival", request=request.request_id, stream=request.stream)
+        device = self._routable_device(self._stream_device.get(request.stream))
+        if device is None:
+            self._shed_request(request, SHED_NO_DEVICE)
+            return
+        self._admit(device, request)
+
+    def _admit(self, device: _Device, request: ServingRequest) -> None:
+        if len(device.queue) >= self.config.queue_depth:
+            self._shed_request(request, SHED_QUEUE_FULL)
+            return
+        request.enqueued_us = self._sim.now
+        device.queue.append(request)
+        self._set_queue_gauge(device)
+        self._log("enqueue", request=request.request_id, device=device.index)
+        self._maybe_flush(device)
+
+    def _shed_request(self, request: ServingRequest, reason: str) -> None:
+        self._shed[reason] = self._shed.get(reason, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.counter("repro_serve_shed_total", reason=reason).inc()
+        self._log("shed", request=request.request_id, reason=reason)
+
+    def _retry(self, request: ServingRequest, reason: str,
+               exclude: int | None = None) -> None:
+        request.attempts += 1
+        if request.attempts > self.config.max_retries:
+            self._shed_request(request, SHED_RETRIES)
+            return
+        self._retries[reason] = self._retries.get(reason, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.counter("repro_serve_retries_total", reason=reason).inc()
+        self._log("retry", request=request.request_id, reason=reason)
+        candidates = self._healthy_devices(exclude=exclude)
+        if not candidates:
+            self._shed_request(request, SHED_NO_DEVICE)
+            return
+        target = min(candidates, key=lambda d: (len(d.queue), d.index))
+        self._admit(target, request)
+
+    # ------------------------------------------------------------------
+    # Dynamic batching
+    # ------------------------------------------------------------------
+
+    def _maybe_flush(self, device: _Device) -> None:
+        """Flush if the batching policy says so, else arm a deadline wake."""
+        if device.dead or device.busy or not device.queue:
+            return
+        now = self._sim.now
+        oldest_wait = now - device.queue[0].enqueued_us
+        if (len(device.queue) >= self.config.max_batch
+                or oldest_wait >= self.config.max_wait_us):
+            self._execute_batch(device)
+            return
+        wake_at = device.queue[0].enqueued_us + self.config.max_wait_us
+        self._sim.schedule(wake_at - now, lambda: self._maybe_flush(device))
+
+    def _execute_batch(self, device: _Device) -> None:
+        now = self._sim.now
+        batch: list = []
+        timed_out: list = []
+        while device.queue and len(batch) < self.config.max_batch:
+            request = device.queue.pop(0)
+            if now - request.enqueued_us >= self.config.timeout_us:
+                timed_out.append(request)
+            else:
+                batch.append(request)
+        self._set_queue_gauge(device)
+        if batch:
+            # Launch before processing retries: a retry may re-admit to
+            # this device, and the busy flag keeps that from re-entering
+            # the flush path mid-launch.
+            self._batch_counter += 1
+            batch_id = self._batch_counter
+            device.busy = True
+            device.current_batch = (batch_id, batch)
+            device.batch_start_us = now
+            slowdown = device.fault_plan.service_slowdown(now)
+            service_us = max(
+                1, math.ceil(len(batch) * device.service_us * slowdown)
+            )
+            self._log(
+                "batch_start", batch=batch_id, device=device.index,
+                size=len(batch), requests=tuple(r.request_id for r in batch),
+                service_us=service_us,
+            )
+            self._sim.schedule(
+                service_us, lambda: self._complete_batch(device, batch_id)
+            )
+        for request in timed_out:
+            self._retry(request, RETRY_TIMEOUT, exclude=device.index)
+        if not batch:
+            self._maybe_flush(device)  # everything timed out; look again
+
+    def _complete_batch(self, device: _Device, batch_id: int) -> None:
+        if device.dead or device.current_batch is None:
+            return  # aborted by a device failure
+        current_id, batch = device.current_batch
+        if current_id != batch_id:
+            return  # stale completion event
+        now = self._sim.now
+        sequences = np.stack([request.sequence for request in batch])
+        probabilities = device.engine.infer_batch(sequences).probabilities
+        device.busy = False
+        device.current_batch = None
+        device.busy_us += now - device.batch_start_us
+        device.batches += 1
+        for request, probability in zip(batch, probabilities):
+            record = CompletedRequest(
+                request_id=request.request_id,
+                stream=request.stream,
+                sequence=request.sequence,
+                device=device.index,
+                probability=float(probability),
+                arrival_us=request.arrival_us,
+                completion_us=now,
+                attempts=request.attempts,
+            )
+            self._completed.append(record)
+        if self.telemetry is not None:
+            telemetry = self.telemetry
+            telemetry.counter("repro_serve_completed_total").inc(len(batch))
+            telemetry.counter("repro_serve_batches_total").inc()
+            telemetry.histogram("repro_serve_batch_size").observe(len(batch))
+            for request in batch:
+                telemetry.histogram("repro_serve_latency_seconds").observe(
+                    (now - request.arrival_us) * 1e-6
+                )
+            telemetry.tracer.record(
+                "serve.batch", device.batch_start_us, now,
+                attributes={
+                    "device": device.index, "batch_size": len(batch),
+                    "unit": "us",
+                },
+            )
+        self._log(
+            "batch_complete", batch=batch_id, device=device.index,
+            requests=tuple(r.request_id for r in batch),
+            probabilities=tuple(float(p) for p in probabilities),
+        )
+        self._maybe_flush(device)
+
+    # ------------------------------------------------------------------
+    # Failure + failover
+    # ------------------------------------------------------------------
+
+    def _fail_device(self, device: _Device) -> None:
+        if device.dead:
+            return
+        now = self._sim.now
+        device.dead = True
+        self._device_failures += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("repro_serve_device_failures_total").inc()
+        self._log("device_failed", device=device.index)
+        self._reroute_after_failure(device.index)
+        orphans: list = []
+        if device.current_batch is not None:
+            batch_id, batch = device.current_batch
+            self._log(
+                "batch_abort", batch=batch_id, device=device.index,
+                requests=tuple(r.request_id for r in batch),
+            )
+            device.busy_us += now - device.batch_start_us
+            device.busy = False
+            device.current_batch = None
+            orphans.extend(batch)
+        orphans.extend(device.queue)
+        device.queue = []
+        self._set_queue_gauge(device)
+        for request in orphans:
+            self._retry(request, RETRY_FAILOVER, exclude=device.index)
+
+    def _reroute_after_failure(self, failed_index: int) -> None:
+        if self.planner is not None and self._plan is not None:
+            try:
+                self._plan = self.planner.rebalance_after_failure(
+                    self._plan, failed_index
+                )
+            except KeyError:
+                pass  # the failed device carried no planned streams
+            else:
+                self._stream_device = self._resolve_routes(self._plan)
+                return
+        # Planner-less (or unplanned device): round-robin the failed
+        # device's streams over the healthy survivors.
+        healthy = [d.index for d in self.devices if not d.dead]
+        reassigned = 0
+        for name in sorted(self._stream_device):
+            if self._stream_device[name] == failed_index:
+                if healthy:
+                    self._stream_device[name] = healthy[reassigned % len(healthy)]
+                    reassigned += 1
+                else:
+                    del self._stream_device[name]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def serve(self, requests) -> ServingReport:
+        """Run the full simulation over ``requests``; returns the report.
+
+        Every request is resolved by the end of the run — completed, or
+        shed with an explicit reason — because all wake-ups are
+        scheduled on the event queue and the simulator drains it.
+        """
+        requests = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        for device in self.devices:
+            fail = device.fault_plan.device_fail
+            if fail is not None:
+                self._sim.schedule(
+                    fail.at_us, (lambda d: lambda: self._fail_device(d))(device)
+                )
+        for request in requests:
+            self._sim.schedule(
+                request.arrival_us, (lambda r: lambda: self._arrive(r))(request)
+            )
+        duration = self._sim.run()
+        if self.telemetry is not None:
+            horizon = max(duration, 1)
+            for device in self.devices:
+                self.telemetry.gauge(
+                    "repro_serve_device_utilization", device=device.index
+                ).set(device.busy_us / horizon)
+        return ServingReport(
+            completed=tuple(self._completed),
+            shed=dict(self._shed),
+            retries=dict(self._retries),
+            device_failures=self._device_failures,
+            event_log=tuple(self._events),
+            duration_us=duration,
+            device_busy_us=tuple(d.busy_us for d in self.devices),
+            offered=self._offered,
+        )
+
+
+def build_fleet(weights, num_devices: int, config=None) -> list:
+    """Build ``num_devices`` engines sharing one set of host weights.
+
+    ``weights`` is a :class:`~repro.core.weights.HostWeights`;  every
+    device runs the same deployed model, as on a real multi-CSD node.
+    """
+    from repro.core.engine import CSDInferenceEngine
+
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    if config is None:
+        from repro.core.config import EngineConfig
+
+        config = EngineConfig(dimensions=weights.dimensions)
+    return [CSDInferenceEngine(config, weights) for _ in range(num_devices)]

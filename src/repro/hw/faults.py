@@ -10,7 +10,12 @@ test suite:
 * :class:`BitFlipFault` — flips a bit of a quantised buffer value (models
   an SEU in BRAM, relevant to FPGA dependability);
 * :class:`DmaErrorFault` — a P2P DMA transfer fails and must be retried,
-  surfacing :class:`repro.hw.axi.TransferError` after the retry budget.
+  surfacing :class:`repro.hw.axi.TransferError` after the retry budget;
+* :class:`DeviceFailFault` — an entire drive drops off the node at a
+  simulated instant (models a dead SmartSSD / PCIe link-down), used by
+  the fleet serving simulator to exercise failover;
+* :class:`DeviceDegradeFault` — a drive keeps serving but slows down by
+  a factor from a simulated instant on (thermal throttling, media wear).
 
 Faults are armed on a :class:`FaultPlan` which components consult through
 narrow hooks, so the healthy path stays fault-framework-free.
@@ -91,6 +96,33 @@ class DmaErrorFault:
             raise TransferError("injected DMA failure")
 
 
+@dataclasses.dataclass(frozen=True)
+class DeviceFailFault:
+    """Kill a whole drive at ``at_us`` on the serving simulator's clock."""
+
+    at_us: int
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError(f"at_us must be non-negative, got {self.at_us}")
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceDegradeFault:
+    """Stretch a drive's service time by ``slowdown`` from ``at_us`` on."""
+
+    at_us: int
+    slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError(f"at_us must be non-negative, got {self.at_us}")
+        if self.slowdown < 1.0:
+            raise ValueError(
+                f"slowdown must be >= 1.0 (a degradation), got {self.slowdown}"
+            )
+
+
 @dataclasses.dataclass
 class FaultPlan:
     """The set of faults armed for a run; all default to absent."""
@@ -98,6 +130,8 @@ class FaultPlan:
     axi_stall: AxiStallFault | None = None
     bit_flip: BitFlipFault | None = None
     dma_error: DmaErrorFault | None = None
+    device_fail: DeviceFailFault | None = None
+    device_degrade: DeviceDegradeFault | None = None
 
     def extra_transfer_cycles(self) -> int:
         """AXI stall penalty for the current transfer, if armed."""
@@ -115,6 +149,16 @@ class FaultPlan:
         """Raise if the DMA fault is armed and still failing."""
         if self.dma_error is not None:
             self.dma_error.check()
+
+    def device_failed(self, now_us: int) -> bool:
+        """Whether the drive is dead at simulated microsecond ``now_us``."""
+        return self.device_fail is not None and now_us >= self.device_fail.at_us
+
+    def service_slowdown(self, now_us: int) -> float:
+        """Service-time stretch factor at ``now_us`` (1.0 when healthy)."""
+        if self.device_degrade is None or now_us < self.device_degrade.at_us:
+            return 1.0
+        return self.device_degrade.slowdown
 
 
 def retry_dma(plan: FaultPlan, attempts: int = 3, telemetry=None) -> int:

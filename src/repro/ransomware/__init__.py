@@ -12,7 +12,9 @@ from repro.ransomware.api_vocabulary import (
 )
 from repro.ransomware.benign import ALL_BENIGN_PROFILES, BenignProfile, MANUAL_INTERACTION
 from repro.ransomware.cuckoo_report import (
+    ReportParseError,
     load_report,
+    report_from_json,
     report_to_trace,
     save_report,
     trace_to_report,
@@ -95,6 +97,7 @@ __all__ = [
     "ProtectedStorage",
     "QuarantineEvent",
     "RansomwareDetector",
+    "ReportParseError",
     "ThreatReport",
     "TOTAL_VARIANTS",
     "UpdateResult",
@@ -111,6 +114,7 @@ __all__ = [
     "extract_windows",
     "load_csv",
     "load_report",
+    "report_from_json",
     "report_to_trace",
     "save_report",
     "trace_to_report",

@@ -25,6 +25,12 @@ Format (subset of Cuckoo 2.x ``report.json``):
 Unknown API names in foreign reports are dropped (with a count returned)
 rather than guessed — the vocabulary is fixed by the deployed embedding
 table.
+
+Real Cuckoo output is adversarial input: the sample under analysis can
+influence the report, and truncated or hand-edited files are common.
+Every malformed shape therefore raises :class:`ReportParseError` (a
+``ValueError``) with a message naming the offending section — never a
+``TypeError``/``AttributeError`` leaking out of the parser internals.
 """
 
 from __future__ import annotations
@@ -34,6 +40,10 @@ import json
 
 from repro.ransomware.api_vocabulary import API_TO_ID
 from repro.ransomware.sandbox import ApiTrace
+
+
+class ReportParseError(ValueError):
+    """A Cuckoo-style report is malformed: bad JSON, shape, or types."""
 
 
 def trace_to_report(trace: ApiTrace, pid: int = 1000) -> dict:
@@ -55,51 +65,109 @@ def trace_to_report(trace: ApiTrace, pid: int = 1000) -> dict:
     }
 
 
-def report_to_trace(report: dict) -> tuple:
+def report_to_trace(report) -> tuple:
     """Parse a Cuckoo-style report back into a trace.
 
     Returns
     -------
     tuple
         ``(ApiTrace, dropped_calls)`` — calls outside the 278-token
-        vocabulary are dropped and counted, never remapped.
+        vocabulary (or whose ``api`` field is not a string) are dropped
+        and counted, never remapped.
 
     Raises
     ------
-    ValueError
-        If the report lacks the behaviour section or contains no calls.
+    ReportParseError
+        If the report lacks the behaviour section, contains no calls, or
+        any section has the wrong type.  Subclasses ``ValueError``.
     """
     try:
         processes = report["behavior"]["processes"]
     except (KeyError, TypeError):
-        raise ValueError("report has no behavior.processes section") from None
+        raise ReportParseError("report has no behavior.processes section") from None
+    if not isinstance(processes, list):
+        raise ReportParseError(
+            f"behavior.processes must be a list, got {type(processes).__name__}"
+        )
     if not processes:
-        raise ValueError("report contains no processes")
+        raise ReportParseError("report contains no processes")
 
     calls: list = []
     dropped = 0
     for process in processes:
-        for call in process.get("calls", ()):
+        if not isinstance(process, dict):
+            raise ReportParseError(
+                f"process entry must be an object, got {type(process).__name__}"
+            )
+        process_calls = process.get("calls", ())
+        if not isinstance(process_calls, (list, tuple)):
+            raise ReportParseError(
+                f"process calls must be a list, got {type(process_calls).__name__}"
+            )
+        for call in process_calls:
+            if not isinstance(call, dict):
+                raise ReportParseError(
+                    f"call entry must be an object, got {type(call).__name__}"
+                )
             api = call.get("api")
-            if api in API_TO_ID:
+            if isinstance(api, str) and api in API_TO_ID:
                 calls.append(api)
             else:
                 dropped += 1
     if not calls:
-        raise ValueError("report contains no in-vocabulary API calls")
+        raise ReportParseError("report contains no in-vocabulary API calls")
 
     info = report.get("info", {})
+    if not isinstance(info, dict):
+        raise ReportParseError(
+            f"info section must be an object, got {type(info).__name__}"
+        )
     custom = info.get("custom", "unknown/0")
+    if not isinstance(custom, str):
+        raise ReportParseError(
+            f"info.custom must be a string, got {type(custom).__name__}"
+        )
+    platform = info.get("platform", "windows10")
+    if not isinstance(platform, str):
+        raise ReportParseError(
+            f"info.platform must be a string, got {type(platform).__name__}"
+        )
     source = custom.split("/")[0] if "/" in custom else custom
     repro_meta = report.get("repro", {})
+    if not isinstance(repro_meta, dict):
+        raise ReportParseError(
+            f"repro section must be an object, got {type(repro_meta).__name__}"
+        )
+    variant_raw = repro_meta.get("variant", 0)
+    try:
+        variant = int(variant_raw)
+    except (TypeError, ValueError):
+        raise ReportParseError(
+            f"repro.variant must be an integer, got {variant_raw!r}"
+        ) from None
     trace = ApiTrace(
         calls=tuple(calls),
         source=source,
-        variant=int(repro_meta.get("variant", 0)),
-        os_version=info.get("platform", "windows10"),
+        variant=variant,
+        os_version=platform,
         is_ransomware=bool(repro_meta.get("is_ransomware", False)),
     )
     return trace, dropped
+
+
+def report_from_json(text) -> tuple:
+    """Parse the JSON text of a report; returns ``(trace, dropped)``.
+
+    Raises :class:`ReportParseError` for syntactically invalid JSON as
+    well as for every structural problem :func:`report_to_trace` rejects,
+    so callers ingesting untrusted report files need exactly one
+    ``except`` clause.
+    """
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReportParseError(f"report is not valid JSON: {error}") from None
+    return report_to_trace(report)
 
 
 def save_report(trace: ApiTrace, path, pid: int = 1000) -> None:
@@ -111,4 +179,4 @@ def save_report(trace: ApiTrace, path, pid: int = 1000) -> None:
 def load_report(path) -> tuple:
     """Read a Cuckoo-style JSON report; returns ``(trace, dropped)``."""
     with open(path) as handle:
-        return report_to_trace(json.load(handle))
+        return report_from_json(handle.read())

@@ -10,38 +10,38 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn.model import SequenceClassifier
-from repro.nn.trainer import Trainer, TrainingConfig
-from repro.ransomware.dataset import build_dataset
+from tests.reference import (
+    REFERENCE_SEQUENCE_LENGTH,
+    build_reference_dataset,
+    build_reference_split,
+    train_reference_model,
+)
 
-#: Shorter than the paper's 100 to keep per-test inference cheap, but
-#: long enough that windows carry usable temporal signal.
-TEST_SEQUENCE_LENGTH = 60
+#: Kept as the historical name; the value lives in ``tests.reference``
+#: because the golden-score tooling must use the identical recipe.
+TEST_SEQUENCE_LENGTH = REFERENCE_SEQUENCE_LENGTH
 
 
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small but class-balanced synthetic dataset (shared, read-only)."""
-    return build_dataset(scale=0.04, sequence_length=TEST_SEQUENCE_LENGTH, seed=7)
+    return build_reference_dataset()
 
 
 @pytest.fixture(scope="session")
 def tiny_split(tiny_dataset):
-    return tiny_dataset.train_test_split(test_fraction=0.25, seed=0)
+    return build_reference_split(tiny_dataset)
 
 
 @pytest.fixture(scope="session")
 def trained_model(tiny_split):
-    """A classifier trained well enough to be clearly better than chance."""
+    """A classifier trained well enough to be clearly better than chance.
+
+    Built by :func:`tests.reference.train_reference_model` — the same
+    recipe the golden detector scores are pinned against.
+    """
     train, test = tiny_split
-    model = SequenceClassifier(seed=0)
-    trainer = Trainer(
-        model,
-        TrainingConfig(epochs=10, batch_size=32, learning_rate=0.005, eval_every=5,
-                       restore_best_weights=True),
-    )
-    trainer.fit(train.sequences, train.labels, test.sequences, test.labels)
-    return model
+    return train_reference_model(train, test)
 
 
 @pytest.fixture

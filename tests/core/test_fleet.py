@@ -113,3 +113,50 @@ class TestFailureRebalance:
         plan = planner.plan([stream("a", 100)])
         with pytest.raises(KeyError):
             planner.rebalance_after_failure(plan, failed_device=99)
+
+
+class TestEdgeCases:
+    def test_empty_fleet(self, device_report):
+        plan = FleetPlanner(device_report).plan([])
+        assert plan.devices_needed == 0
+        assert plan.peak_utilization == 0.0
+        with pytest.raises(KeyError):
+            plan.device_of("anything")
+
+    def test_single_device_failure_spawns_replacement(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream("only", 2000)])
+        assert plan.devices_needed == 1
+        failed = plan.assignments[0].device_index
+        rebalanced = planner.rebalance_after_failure(plan, failed)
+        placed = [s.name for a in rebalanced.assignments for s in a.streams]
+        assert placed == ["only"]
+        assert all(a.device_index != failed for a in rebalanced.assignments)
+
+    def test_oversubscribed_rebalance_adds_devices(self, device_report):
+        planner = FleetPlanner(device_report)
+        # 3,000 windows/s per stream against a ~3,536 windows/s budget:
+        # one stream per device, so no survivor can absorb an orphan.
+        plan = planner.plan([stream(f"h{i}", 30_000) for i in range(8)])
+        assert plan.devices_needed == 8
+        original = {a.device_index for a in plan.assignments}
+        rebalanced = planner.rebalance_after_failure(
+            plan, plan.assignments[0].device_index
+        )
+        new_indices = {a.device_index for a in rebalanced.assignments} - original
+        assert new_indices and min(new_indices) >= len(original)
+        placed = [s.name for a in rebalanced.assignments for s in a.streams]
+        assert sorted(placed) == sorted(f"h{i}" for i in range(8))
+
+    def test_all_devices_failed_in_sequence(self, device_report):
+        planner = FleetPlanner(device_report)
+        plan = planner.plan([stream(f"h{i}", 3000) for i in range(12)])
+        original = [a.device_index for a in plan.assignments]
+        assert len(original) >= 2
+        for failed in original:
+            plan = planner.rebalance_after_failure(plan, failed)
+        placed = [s.name for a in plan.assignments for s in a.streams]
+        assert sorted(placed) == sorted(f"h{i}" for i in range(12))
+        assert not set(original) & {a.device_index for a in plan.assignments}
+        for assignment in plan.assignments:
+            assert assignment.utilization <= planner.headroom + 1e-9

@@ -1,0 +1,378 @@
+"""Tests for the fleet serving simulator.
+
+The simulator's contract has three load-bearing clauses:
+
+* **Determinism** — one seed produces *identical* event logs, scores,
+  and telemetry across runs (everything lives on the simulated clock);
+* **Bit-exactness** — a batch served through the queueing/batching
+  machinery scores exactly what :meth:`CSDInferenceEngine.infer_batch`
+  returns for the same windows;
+* **Accounting** — every offered request ends the run either completed
+  or shed with an explicit reason; nothing is silently dropped.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.fleet import FleetPlanner, MonitoredStream
+from repro.core.serving import (
+    RETRY_FAILOVER,
+    RETRY_TIMEOUT,
+    SHED_QUEUE_FULL,
+    CompletedRequest,
+    FleetServer,
+    ServingConfig,
+    ServingReport,
+    ServingRequest,
+    build_fleet,
+    generate_workload,
+)
+from repro.core.throughput import throughput_report
+from repro.core.weights import HostWeights
+from repro.hw.faults import DeviceDegradeFault, DeviceFailFault, FaultPlan
+from repro.telemetry import Telemetry
+
+SEQUENCE_LENGTH = 30
+DURATION_US = 30_000
+
+
+@pytest.fixture(scope="module")
+def fleet_weights(trained_model):
+    return HostWeights.from_model(trained_model)
+
+
+def make_engines(weights, count, level=OptimizationLevel.FIXED_POINT):
+    config = EngineConfig(
+        dimensions=dataclasses.replace(
+            weights.dimensions, sequence_length=SEQUENCE_LENGTH
+        ),
+        optimization=level,
+    )
+    return build_fleet(weights, count, config=config)
+
+
+def make_streams(count, calls_per_second=10_000.0, stride=10):
+    return [
+        MonitoredStream(f"s{i}", calls_per_second, detection_stride=stride)
+        for i in range(count)
+    ]
+
+
+def event_details(event):
+    time_us, kind, details = event
+    return time_us, kind, dict(details)
+
+
+def assert_accounting(report):
+    assert report.completed_count + report.shed_count == report.offered
+
+
+class TestWorkloadGeneration:
+    def test_deterministic_and_sorted(self):
+        streams = make_streams(3)
+        first = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=4)
+        second = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=4)
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert a.arrival_us == b.arrival_us
+            assert a.stream == b.stream
+            assert np.array_equal(a.sequence, b.sequence)
+        arrivals = [r.arrival_us for r in first]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in first] == list(range(len(first)))
+
+    def test_independent_of_stream_order(self):
+        # Each stream's RNG derives from (seed, index), so adding a
+        # stream must not disturb the arrivals of existing ones.
+        base = generate_workload(make_streams(2), DURATION_US, 10, seed=9)
+        wider = generate_workload(make_streams(3), DURATION_US, 10, seed=9)
+        base_s0 = [(r.arrival_us, tuple(r.sequence)) for r in base if r.stream == "s0"]
+        wide_s0 = [(r.arrival_us, tuple(r.sequence)) for r in wider if r.stream == "s0"]
+        assert base_s0 == wide_s0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            generate_workload(make_streams(1), 0, SEQUENCE_LENGTH)
+
+
+class TestDeterminism:
+    def _run(self, weights):
+        engines = make_engines(weights, 2)
+        streams = make_streams(4)
+        fault_plans = {
+            0: FaultPlan(device_fail=DeviceFailFault(at_us=DURATION_US // 2)),
+            1: FaultPlan(
+                device_degrade=DeviceDegradeFault(at_us=DURATION_US // 3,
+                                                  slowdown=2.0)
+            ),
+        }
+        telemetry = Telemetry()
+        server = FleetServer(
+            engines, streams, ServingConfig(max_batch=8, max_wait_us=500),
+            fault_plans=fault_plans, telemetry=telemetry,
+        )
+        workload = generate_workload(
+            streams, DURATION_US, SEQUENCE_LENGTH, seed=3
+        )
+        return server.serve(workload), telemetry
+
+    def test_same_seed_identical_runs(self, fleet_weights):
+        first, telemetry_a = self._run(fleet_weights)
+        second, telemetry_b = self._run(fleet_weights)
+        assert first.event_log == second.event_log
+        assert first.shed == second.shed
+        assert first.retries == second.retries
+        assert first.device_busy_us == second.device_busy_us
+        assert [c.probability for c in first.completed] == [
+            c.probability for c in second.completed
+        ]
+        assert telemetry_a.events() == telemetry_b.events()
+
+    def test_simulated_clock_only(self, fleet_weights):
+        report, _ = self._run(fleet_weights)
+        assert all(isinstance(e[0], int) for e in report.event_log)
+        times = [e[0] for e in report.event_log]
+        assert times == sorted(times)
+
+
+class TestBitExactness:
+    def test_served_batches_match_direct_infer_batch(self, fleet_weights):
+        engines = make_engines(fleet_weights, 2)
+        streams = make_streams(3)
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=1)
+        by_id = {r.request_id: r.sequence for r in workload}
+        server = FleetServer(
+            engines, streams, ServingConfig(max_batch=8, max_wait_us=500)
+        )
+        report = server.serve(workload)
+        reference = make_engines(fleet_weights, 1)[0]
+        batches = [
+            event_details(e)[2] for e in report.event_log
+            if e[1] == "batch_complete"
+        ]
+        assert batches, "no batches completed"
+        for details in batches:
+            sequences = np.stack([by_id[rid] for rid in details["requests"]])
+            direct = reference.infer_batch(sequences).probabilities
+            assert tuple(float(p) for p in direct) == details["probabilities"]
+
+    def test_completed_probabilities_match_event_log(self, fleet_weights):
+        engines = make_engines(fleet_weights, 1)
+        streams = make_streams(2)
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=2)
+        report = FleetServer(engines, streams).serve(workload)
+        logged = {}
+        for event in report.event_log:
+            _, kind, details = event_details(event)
+            if kind == "batch_complete":
+                logged.update(zip(details["requests"], details["probabilities"]))
+        for completed in report.completed:
+            assert logged[completed.request_id] == completed.probability
+
+
+class TestAdmissionControl:
+    def _burst(self, count):
+        rng = np.random.default_rng(0)
+        return [
+            ServingRequest(
+                request_id=i, stream="s0",
+                sequence=rng.integers(0, 278, size=SEQUENCE_LENGTH,
+                                      dtype=np.int64),
+                arrival_us=0,
+            )
+            for i in range(count)
+        ]
+
+    def test_queue_full_sheds_excess(self, fleet_weights):
+        engines = make_engines(fleet_weights, 1)
+        server = FleetServer(
+            engines, make_streams(1),
+            ServingConfig(max_batch=1, max_wait_us=0, queue_depth=2,
+                          max_retries=0),
+        )
+        report = server.serve(self._burst(10))
+        assert report.shed.get(SHED_QUEUE_FULL, 0) > 0
+        assert report.completed_count > 0
+        assert_accounting(report)
+
+    def test_generous_queue_sheds_nothing(self, fleet_weights):
+        engines = make_engines(fleet_weights, 1)
+        server = FleetServer(
+            engines, make_streams(1),
+            ServingConfig(max_batch=16, max_wait_us=100, queue_depth=64),
+        )
+        report = server.serve(self._burst(10))
+        assert report.shed == {}
+        assert report.completed_count == report.offered == 10
+
+
+class TestFailover:
+    def test_device_failure_fails_over(self, fleet_weights):
+        engines = make_engines(fleet_weights, 2)
+        # Dense traffic (~250 us inter-arrival per stream) so device 0's
+        # queue is non-empty at the kill instant and failover fires.
+        streams = make_streams(4, calls_per_second=40_000.0)
+        kill_at = DURATION_US // 2
+        fault_plans = {0: FaultPlan(device_fail=DeviceFailFault(at_us=kill_at))}
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=6)
+        report = FleetServer(
+            engines, streams, ServingConfig(max_batch=8, max_wait_us=500),
+            fault_plans=fault_plans,
+        ).serve(workload)
+        assert report.device_failures == 1
+        assert report.retries.get(RETRY_FAILOVER, 0) > 0
+        late = [c for c in report.completed if c.completion_us > kill_at]
+        assert late and all(c.device == 1 for c in late)
+        assert_accounting(report)
+
+    def test_planner_rebalance_used_on_failure(self, fleet_weights):
+        engines = make_engines(fleet_weights, 2)
+        streams = make_streams(4, calls_per_second=5_000.0)
+        planner = FleetPlanner(throughput_report(engines[0]), headroom=0.9)
+        fault_plans = {0: FaultPlan(device_fail=DeviceFailFault(at_us=10_000))}
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=6)
+        report = FleetServer(
+            engines, streams, ServingConfig(max_batch=8, max_wait_us=500),
+            planner=planner, fault_plans=fault_plans,
+        ).serve(workload)
+        assert report.device_failures == 1
+        late = [c for c in report.completed if c.completion_us > 10_000]
+        assert late and all(c.device == 1 for c in late)
+        assert_accounting(report)
+
+    def test_all_devices_dead_sheds_remaining(self, fleet_weights):
+        engines = make_engines(fleet_weights, 1)
+        streams = make_streams(2)
+        fault_plans = {0: FaultPlan(device_fail=DeviceFailFault(at_us=5_000))}
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=8)
+        report = FleetServer(
+            engines, streams, fault_plans=fault_plans
+        ).serve(workload)
+        assert report.device_failures == 1
+        assert report.shed_count > 0
+        late_arrivals = [r for r in workload if r.arrival_us > 5_000]
+        assert late_arrivals  # the scenario exercised the dead-fleet path
+        assert_accounting(report)
+
+    def test_degraded_device_slows_service(self, fleet_weights):
+        streams = make_streams(2)
+        config = ServingConfig(max_batch=8, max_wait_us=500)
+        workload = lambda: generate_workload(
+            streams, DURATION_US, SEQUENCE_LENGTH, seed=5
+        )
+        healthy = FleetServer(
+            make_engines(fleet_weights, 1), streams, config
+        ).serve(workload())
+        degraded = FleetServer(
+            make_engines(fleet_weights, 1), streams, config,
+            fault_plans={0: FaultPlan(
+                device_degrade=DeviceDegradeFault(at_us=0, slowdown=4.0)
+            )},
+        ).serve(workload())
+        assert degraded.device_busy_us[0] > healthy.device_busy_us[0]
+        assert (degraded.latency_percentile_us(50)
+                > healthy.latency_percentile_us(50))
+
+
+class TestTimeoutRetry:
+    def test_timed_out_requests_retry_elsewhere(self, fleet_weights):
+        engines = make_engines(fleet_weights, 2)
+        streams = make_streams(2, calls_per_second=20_000.0)
+        # Device 0 is catastrophically slow from the start; its queued
+        # requests blow the per-attempt deadline and must finish on 1.
+        fault_plans = {0: FaultPlan(
+            device_degrade=DeviceDegradeFault(at_us=0, slowdown=200.0)
+        )}
+        workload = generate_workload(streams, DURATION_US, SEQUENCE_LENGTH, seed=7)
+        report = FleetServer(
+            engines, streams,
+            ServingConfig(max_batch=4, max_wait_us=200, timeout_us=2_000,
+                          max_retries=2),
+            fault_plans=fault_plans,
+        ).serve(workload)
+        assert report.retries.get(RETRY_TIMEOUT, 0) > 0
+        rescued = [c for c in report.completed
+                   if c.stream == "s0" and c.device == 1]
+        assert rescued
+        assert_accounting(report)
+
+
+class TestOversubscribedPlan:
+    def test_plan_spills_onto_physical_fleet(self, fleet_weights):
+        engines = make_engines(fleet_weights, 1)
+        planner = FleetPlanner(throughput_report(engines[0]), headroom=0.9)
+        budget = planner.capacity * planner.headroom
+        # Two streams at 60% of one device's budget: the plan wants two
+        # devices, the fleet has one — both streams must still route.
+        stride = 10
+        streams = [
+            MonitoredStream(f"s{i}", budget * 0.6 * stride, detection_stride=stride)
+            for i in range(2)
+        ]
+        plan = planner.plan(streams)
+        assert plan.devices_needed == 2
+        workload = generate_workload(streams, 10_000, SEQUENCE_LENGTH, seed=4)
+        report = FleetServer(
+            engines, streams, ServingConfig(max_batch=16, max_wait_us=200),
+            planner=planner,
+        ).serve(workload)
+        served_streams = {c.stream for c in report.completed}
+        assert served_streams == {"s0", "s1"}
+        assert_accounting(report)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_wait_us": -1},
+        {"queue_depth": 0},
+        {"timeout_us": 0},
+        {"max_retries": -1},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            FleetServer([], make_streams(1))
+
+
+class TestReport:
+    def _report(self, latencies):
+        completed = tuple(
+            CompletedRequest(
+                request_id=i, stream="s", sequence=np.zeros(1, dtype=np.int64),
+                device=0, probability=0.5, arrival_us=0, completion_us=lat,
+                attempts=0,
+            )
+            for i, lat in enumerate(latencies)
+        )
+        return ServingReport(
+            completed=completed, shed={}, retries={}, device_failures=0,
+            event_log=(), duration_us=1000, device_busy_us=(500,),
+            offered=len(latencies),
+        )
+
+    def test_nearest_rank_percentiles(self):
+        report = self._report([10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+        assert report.latency_percentile_us(50) == 50.0
+        assert report.latency_percentile_us(99) == 100.0
+        assert report.latency_percentile_us(100) == 100.0
+        assert report.latency_percentile_us(1) == 10.0
+
+    def test_percentile_bounds(self):
+        report = self._report([10])
+        with pytest.raises(ValueError):
+            report.latency_percentile_us(0)
+        with pytest.raises(ValueError):
+            report.latency_percentile_us(101)
+
+    def test_empty_report(self):
+        report = self._report([])
+        assert np.isnan(report.latency_percentile_us(50))
+        assert report.shed_rate == 0.0
+        assert report.device_utilization() == (0.5,)

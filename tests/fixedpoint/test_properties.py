@@ -1,0 +1,244 @@
+"""Property-based tests on the fixed-point arithmetic invariants.
+
+The example-based tests in ``test_ops.py`` / ``test_saturation.py`` pin
+specific values; these tests assert the *laws* the datapath must obey for
+every input hypothesis can dream up:
+
+* quantise/dequantise round-trips within half a resolution step;
+* the rescaled ops track their float references within the derived
+  quantisation-error bound;
+* ``qmatmul`` is element-for-element the same computation as ``qdot``
+  over rows and columns (the batched layout cannot change any value);
+* overflow never silently wraps — every result is either the exactly
+  rounded wide quotient or the documented saturation limit with the
+  correct sign (and ``on_overflow="raise"`` raises instead).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint.ops import (
+    FixedPointOverflowError,
+    qadd,
+    qdot,
+    qmatmul,
+    qmatvec,
+    qmul,
+    qsub,
+)
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.saturation import (
+    headroom_bits,
+    qsaturate,
+    rescale_saturation_limit,
+)
+
+INT64_MAX = np.iinfo(np.int64).max
+INT64_MIN = np.iinfo(np.int64).min
+
+scales = st.sampled_from([10**2, 10**4, 10**6, 2**20])
+reals = st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+# Magnitudes the model actually quantises (|weights| < ~3, |h| < 1).
+unit_reals = st.floats(min_value=-2.0, max_value=2.0,
+                       allow_nan=False, allow_infinity=False)
+# Full-width int64 values, biased toward the overflow-relevant extremes.
+wide_ints = st.one_of(
+    st.integers(min_value=INT64_MIN + 1, max_value=INT64_MAX),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.sampled_from([0, 1, -1, INT64_MAX, INT64_MIN + 1, 2**31, -(2**31)]),
+)
+
+
+def _exact_rounded_division(value: int, scale: int) -> int:
+    """Round-half-away-from-zero division in exact Python integers."""
+    magnitude, sign = abs(value), -1 if value < 0 else 1
+    quotient, remainder = divmod(magnitude, scale)
+    if remainder >= scale - scale // 2:
+        quotient += 1
+    return sign * quotient
+
+
+class TestRoundTrip:
+    @given(value=reals, scale=scales)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_within_half_resolution(self, value, scale):
+        fmt = QFormat(scale=scale)
+        recovered = fmt.dequantize(fmt.quantize(value))
+        assert abs(recovered - value) <= 0.5 / scale + 1e-12
+
+    @given(values=st.lists(reals, min_size=1, max_size=16), scale=scales)
+    @settings(max_examples=100, deadline=None)
+    def test_array_round_trip_matches_scalar(self, values, scale):
+        fmt = QFormat(scale=scale)
+        array = np.asarray(values, dtype=np.float64)
+        quantized = fmt.quantize(array)
+        assert quantized.dtype == np.int64
+        assert [int(q) for q in quantized] == [fmt.quantize(v) for v in array]
+        assert fmt.quantization_error(array) <= 0.5 / scale + 1e-12
+
+
+class TestAdditiveGroup:
+    @given(a=wide_ints, b=st.integers(min_value=-10**12, max_value=10**12))
+    @settings(max_examples=100, deadline=None)
+    def test_qsub_inverts_qadd(self, a, b):
+        # int64 add/sub wrap symmetrically, so the round trip is exact
+        # even at the extremes.
+        assert qsub(qadd(a, b), b) == a
+
+
+class TestFloatReference:
+    @given(a=unit_reals, b=unit_reals, scale=scales)
+    @settings(max_examples=200, deadline=None)
+    def test_qmul_tracks_float_product(self, a, b, scale):
+        fmt = QFormat(scale=scale)
+        result = fmt.dequantize(qmul(fmt.quantize(a), fmt.quantize(b), fmt))
+        # |Δ(ab)| <= |a|Δb + |b|Δa + ΔaΔb with Δ <= 0.5/scale, plus
+        # another 0.5/scale for the final rounded rescale.
+        tolerance = (0.5 * abs(a) + 0.5 * abs(b) + 1.0) / scale + 0.25 / scale**2
+        assert abs(result - a * b) <= tolerance + 1e-12
+
+    @given(
+        matrix=st.lists(
+            st.lists(unit_reals, min_size=3, max_size=3), min_size=1, max_size=5
+        ),
+        vector=st.lists(unit_reals, min_size=3, max_size=3),
+        scale=scales,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_qmatvec_tracks_float_product(self, matrix, vector, scale):
+        fmt = QFormat(scale=scale)
+        m = np.asarray(matrix, dtype=np.float64)
+        v = np.asarray(vector, dtype=np.float64)
+        result = fmt.dequantize(qmatvec(fmt.quantize(m), fmt.quantize(v), fmt))
+        # Each of the k products contributes the qmul bound; the single
+        # final rescale adds one more half-step.
+        k = m.shape[1]
+        per_term = (0.5 * np.abs(m) @ np.ones(k) + 0.5 * np.abs(v).sum()) / scale
+        tolerance = per_term + (0.5 + k * 0.25 / scale) / scale + 1e-12
+        assert np.all(np.abs(result - m @ v) <= tolerance)
+
+
+class TestBatchedConsistency:
+    @given(
+        a=st.lists(
+            st.lists(st.integers(min_value=-10**7, max_value=10**7),
+                     min_size=4, max_size=4),
+            min_size=1, max_size=4,
+        ),
+        b=st.lists(
+            st.lists(st.integers(min_value=-10**7, max_value=10**7),
+                     min_size=3, max_size=3),
+            min_size=4, max_size=4,
+        ),
+        scale=scales,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_qmatmul_equals_qdot_per_element(self, a, b, scale):
+        fmt = QFormat(scale=scale)
+        am = np.asarray(a, dtype=np.int64)
+        bm = np.asarray(b, dtype=np.int64)
+        product = qmatmul(am, bm, fmt)
+        for i in range(am.shape[0]):
+            for j in range(bm.shape[1]):
+                assert product[i, j] == qdot(am[i], bm[:, j], fmt)
+
+    @given(
+        a=st.lists(
+            st.lists(st.integers(min_value=-10**7, max_value=10**7),
+                     min_size=4, max_size=4),
+            min_size=1, max_size=4,
+        ),
+        b=st.lists(st.integers(min_value=-10**7, max_value=10**7),
+                   min_size=4, max_size=4),
+        scale=scales,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_qmatvec_equals_qmatmul_column(self, a, b, scale):
+        fmt = QFormat(scale=scale)
+        am = np.asarray(a, dtype=np.int64)
+        bv = np.asarray(b, dtype=np.int64)
+        assert np.array_equal(
+            qmatvec(am, bv, fmt), qmatmul(am, bv[:, np.newaxis], fmt)[:, 0]
+        )
+
+
+class TestOverflowNeverWraps:
+    @given(a=wide_ints, b=wide_ints, scale=scales)
+    @settings(max_examples=300, deadline=None)
+    def test_qmul_is_exact_or_saturated(self, a, b, scale):
+        fmt = QFormat(scale=scale)
+        exact = a * b  # Python ints: arbitrary precision
+        result = qmul(a, b, fmt)
+        if INT64_MIN <= exact <= INT64_MAX:
+            assert result == _exact_rounded_division(exact, scale)
+        else:
+            limit = rescale_saturation_limit(fmt)
+            assert result == (-limit if exact < 0 else limit)
+
+    @given(a=wide_ints, b=wide_ints, scale=scales)
+    @settings(max_examples=150, deadline=None)
+    def test_qmul_raise_mode_matches_saturate_decision(self, a, b, scale):
+        fmt = QFormat(scale=scale)
+        exact = a * b
+        if INT64_MIN <= exact <= INT64_MAX:
+            assert qmul(a, b, fmt, on_overflow="raise") == qmul(a, b, fmt)
+        else:
+            with pytest.raises(FixedPointOverflowError):
+                qmul(a, b, fmt, on_overflow="raise")
+
+    @given(
+        row=st.lists(wide_ints, min_size=1, max_size=4),
+        col=st.lists(wide_ints, min_size=1, max_size=4),
+        scale=scales,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_qdot_is_exact_or_saturated(self, row, col, scale):
+        size = min(len(row), len(col))
+        row, col = row[:size], col[:size]
+        fmt = QFormat(scale=scale)
+        exact = sum(x * y for x, y in zip(row, col))
+        result = qdot(
+            np.asarray(row, dtype=np.int64), np.asarray(col, dtype=np.int64), fmt
+        )
+        if INT64_MIN <= exact <= INT64_MAX:
+            assert result == _exact_rounded_division(exact, scale)
+        else:
+            limit = rescale_saturation_limit(fmt)
+            assert result == (-limit if exact < 0 else limit)
+            with pytest.raises(FixedPointOverflowError):
+                qdot(np.asarray(row, dtype=np.int64),
+                     np.asarray(col, dtype=np.int64), fmt, on_overflow="raise")
+
+    @given(a=wide_ints, scale=scales)
+    @settings(max_examples=100, deadline=None)
+    def test_saturated_value_survives_rescale_by_scale(self, a, scale):
+        # The documented purpose of the limit: a saturated result can be
+        # re-multiplied by the scale without wrapping int64.
+        fmt = QFormat(scale=scale)
+        limit = rescale_saturation_limit(fmt)
+        assert limit * scale <= INT64_MAX
+        assert (limit + 1) * scale > INT64_MAX
+
+
+class TestSaturationWindow:
+    @given(q=wide_ints, bits=st.integers(min_value=2, max_value=63))
+    @settings(max_examples=200, deadline=None)
+    def test_qsaturate_bounded_and_idempotent(self, q, bits):
+        limit = (1 << (bits - 1)) - 1
+        clamped = qsaturate(q, bits)
+        assert -limit - 1 <= clamped <= limit
+        assert qsaturate(clamped, bits) == clamped
+        if -limit - 1 <= q <= limit:
+            assert clamped == q
+
+    @given(
+        values=st.lists(wide_ints, min_size=1, max_size=8),
+        bits=st.integers(min_value=2, max_value=63),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_headroom_certifies_no_clipping(self, values, bits):
+        q = np.asarray(values, dtype=np.int64)
+        if headroom_bits(q, bits) >= 0:
+            assert np.array_equal(qsaturate(q, bits), q)

@@ -1,0 +1,178 @@
+"""Seeded fuzzing of the Cuckoo report parser.
+
+A report file is adversarial input: the analysed sample can influence
+what Cuckoo writes, and truncated or hand-edited reports are routine.
+The parser's contract is narrow — every input either parses to
+``(ApiTrace, dropped)`` or raises :class:`ReportParseError`; no other
+exception may escape, ever.  These tests attack it three ways with
+deterministic seeds (no flakes): byte-level truncation/garbling of valid
+JSON, structural mutation of a valid report (type confusion, key
+deletion), and hypothesis-generated arbitrary JSON documents.
+"""
+
+import copy
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ransomware.api_vocabulary import API_TO_ID
+from repro.ransomware.cuckoo_report import (
+    ReportParseError,
+    report_from_json,
+    report_to_trace,
+    trace_to_report,
+)
+from repro.ransomware.sandbox import ApiTrace
+
+VOCAB = tuple(API_TO_ID)
+
+#: Values a mutated report swaps in — one of every JSON type, plus the
+#: shapes that historically break naive parsers (empty containers, a
+#: string where a number goes, a list where an object goes).
+CONFUSIONS = (
+    None, True, 7, -1, 3.5, "", "x", "no-slash-here", [], [1, 2],
+    {}, {"api": 5}, [[]],
+)
+
+
+def _base_report() -> dict:
+    trace = ApiTrace(
+        calls=tuple(VOCAB[:12]) * 3,
+        source="Ryuk",
+        variant=2,
+        os_version="windows10",
+        is_ransomware=True,
+    )
+    return trace_to_report(trace)
+
+
+def _assert_parses_or_rejects(text: str):
+    """The only two permitted outcomes for any input text."""
+    try:
+        trace, dropped = report_from_json(text)
+    except ReportParseError:
+        return None
+    assert isinstance(dropped, int) and dropped >= 0
+    assert trace.calls
+    return trace
+
+
+def _paths(node, prefix=()):
+    yield prefix
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _paths(value, prefix + (key,))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _paths(value, prefix + (index,))
+
+
+def _parent_of(node, path):
+    for key in path[:-1]:
+        node = node[key]
+    return node
+
+
+class TestByteLevelFuzz:
+    def test_every_truncation_point_is_handled(self):
+        text = json.dumps(_base_report())
+        rng = random.Random(0xC0FFEE)
+        offsets = {0, 1, len(text) - 1, len(text)}
+        offsets.update(rng.randrange(len(text)) for _ in range(300))
+        for offset in sorted(offsets):
+            _assert_parses_or_rejects(text[:offset])
+
+    def test_garbled_bytes_are_handled(self):
+        text = json.dumps(_base_report())
+        rng = random.Random(1234)
+        for _ in range(200):
+            chars = list(text)
+            for _ in range(rng.randint(1, 8)):
+                chars[rng.randrange(len(chars))] = chr(rng.randrange(32, 127))
+            _assert_parses_or_rejects("".join(chars))
+
+    def test_invalid_json_raises_parse_error(self):
+        for bad in ("", "{", "[1,", "nul", '{"a": }', "\x00", "{}trailing"):
+            with pytest.raises(ReportParseError):
+                report_from_json(bad)
+
+
+class TestStructuralFuzz:
+    def test_mutated_reports_never_crash(self):
+        base = _base_report()
+        for trial in range(300):
+            rng = random.Random(trial)
+            report = copy.deepcopy(base)
+            for _ in range(rng.randint(1, 3)):
+                paths = [p for p in _paths(report) if p]
+                path = rng.choice(paths)
+                parent = _parent_of(report, path)
+                if rng.random() < 0.3:
+                    if isinstance(parent, dict):
+                        del parent[path[-1]]
+                    else:
+                        parent.pop(path[-1])
+                else:
+                    parent[path[-1]] = rng.choice(CONFUSIONS)
+            _assert_parses_or_rejects(json.dumps(report))
+
+    def test_type_confused_api_fields_are_dropped_not_fatal(self):
+        report = _base_report()
+        calls = report["behavior"]["processes"][0]["calls"]
+        # Unhashable and non-string api values: counted as dropped.
+        calls[0]["api"] = ["NtCreateFile"]
+        calls[1]["api"] = {"nested": True}
+        calls[2]["api"] = 42
+        del calls[3]["api"]
+        trace, dropped = report_to_trace(report)
+        assert dropped == 4
+        assert len(trace.calls) == len(calls) - 4
+
+    def test_all_calls_type_confused_raises(self):
+        report = _base_report()
+        for call in report["behavior"]["processes"][0]["calls"]:
+            call["api"] = 42
+        with pytest.raises(ReportParseError,
+                           match="no in-vocabulary API calls"):
+            report_to_trace(report)
+
+    def test_parse_error_is_a_value_error(self):
+        # Pre-hardening callers catch ValueError; that must keep working.
+        assert issubclass(ReportParseError, ValueError)
+        with pytest.raises(ValueError):
+            report_to_trace({"behavior": {"processes": "not-a-list"}})
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-10**6, max_value=10**6)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=25,
+)
+
+
+class TestArbitraryDocuments:
+    @given(document=json_values)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_json_parses_or_rejects(self, document):
+        _assert_parses_or_rejects(json.dumps(document))
+
+    @given(processes=json_values)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_processes_section(self, processes):
+        document = {"behavior": {"processes": processes}}
+        _assert_parses_or_rejects(json.dumps(document))
+
+    @given(info=json_values, repro=json_values)
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_metadata_sections(self, info, repro):
+        document = _base_report()
+        document["info"] = info
+        document["repro"] = repro
+        _assert_parses_or_rejects(json.dumps(document))

@@ -39,7 +39,9 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("dataset", "train", "evaluate", "scan", "report"):
+        for command in (
+            "dataset", "train", "evaluate", "scan", "report", "fleet-serve",
+        ):
             assert command in text
 
 
@@ -90,6 +92,36 @@ class TestScanCommand:
         assert "Lockbit variant 1" in output
         assert exit_code == 0
         assert "DETECTED" in output
+
+
+class TestFleetServeCommand:
+    def test_serves_and_prints_latency(self, weights_path, capsys):
+        from tests.conftest import TEST_SEQUENCE_LENGTH
+
+        exit_code = main([
+            "fleet-serve", str(weights_path), "--devices", "2",
+            "--streams", "4", "--calls-per-second", "8000",
+            "--duration-ms", "20",
+            "--sequence-length", str(TEST_SEQUENCE_LENGTH), "--seed", "5",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "offered" in output
+        assert "p99" in output
+
+    def test_kill_device_reports_failover(self, weights_path, capsys):
+        from tests.conftest import TEST_SEQUENCE_LENGTH
+
+        exit_code = main([
+            "fleet-serve", str(weights_path), "--devices", "2",
+            "--streams", "4", "--calls-per-second", "8000",
+            "--duration-ms", "20",
+            "--sequence-length", str(TEST_SEQUENCE_LENGTH), "--seed", "5",
+            "--kill-device", "0", "--kill-at-ms", "10",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "device failures" in output
 
 
 class TestReportCommand:
