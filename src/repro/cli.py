@@ -115,7 +115,11 @@ def _run_evaluate(args) -> int:
     engine = _engine_at(engine, OptimizationLevel[args.optimization])
     _maybe_attach_telemetry(engine, args)
     subset = dataset.subset(np.arange(min(args.limit, len(dataset))))
-    metrics = classification_report(engine.predict(subset.sequences), subset.labels)
+    metrics = classification_report(
+        engine.predict(subset.sequences, workers=getattr(args, "workers", 1)),
+        subset.labels,
+    )
+    engine.shutdown_pool()
     for name, value in metrics.items():
         print(f"{name:10s} {value:.4f}")
     print(f"per-item inference: {engine.per_item_microseconds():.5f} us "
@@ -267,6 +271,7 @@ def _run_fleet_serve(args) -> int:
         ),
         planner=planner, fault_plans=fault_plans,
         telemetry=getattr(args, "_telemetry", None),
+        workers=getattr(args, "workers", 1),
     )
     report = server.serve(workload)
     print(f"fleet: {args.devices} devices, {args.streams} streams x "
@@ -300,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="PATH", default=None,
         help="write structured telemetry (JSON lines, schema in "
              "docs/observability.md) to PATH",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard inference across N forked worker processes sharing "
+             "the weights through shared memory (bit-exact with N=1; "
+             "see docs/performance.md)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_dataset_command(subparsers)

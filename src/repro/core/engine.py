@@ -23,6 +23,7 @@ item by item regardless of how the simulation is scheduled.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -67,12 +68,24 @@ class BatchInferenceResult:
     def batch_size(self) -> int:
         return int(self.probabilities.shape[0])
 
-    def results(self) -> list:
-        """Per-sequence :class:`InferenceResult` views of this batch."""
-        return [
-            InferenceResult(probability=float(p), timing=self.timing)
-            for p in self.probabilities
-        ]
+    def results(self) -> Iterator[InferenceResult]:
+        """Lazily yield per-sequence :class:`InferenceResult` views.
+
+        A generator, not a list: a million-sequence batch should not
+        materialise a million result objects just to stream over them.
+        Use ``list(batch.results())`` to materialise, or
+        :meth:`result_at` for random access.
+        """
+        for probability in self.probabilities:
+            yield InferenceResult(
+                probability=float(probability), timing=self.timing
+            )
+
+    def result_at(self, index: int) -> InferenceResult:
+        """Random-access view of one sequence's result."""
+        return InferenceResult(
+            probability=float(self.probabilities[index]), timing=self.timing
+        )
 
 
 class CSDInferenceEngine:
@@ -110,6 +123,7 @@ class CSDInferenceEngine:
         self.quantized: QuantizedHostWeights | None = None
         self.storage: SmartSSD | None = None
         self.sequences_processed = 0
+        self._pool = None  # cached WorkerPool (see worker_pool)
         self.telemetry = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
@@ -431,13 +445,56 @@ class CSDInferenceEngine:
             self.storage.release_fpga_dram(fetched_bytes)
         return result, transfer_seconds
 
-    def predict_proba(self, sequences, chunk_size: int = 1024) -> np.ndarray:
+    def worker_pool(self, workers: int):
+        """The engine's persistent data-parallel backend (built on demand).
+
+        The pool is cached: asking for the same worker count returns the
+        live pool (forking and re-broadcasting weights per call would
+        defeat the point); a different count rebuilds it.  The pool
+        tracks this engine's current telemetry.  See
+        :class:`repro.core.parallel.WorkerPool`.
+        """
+        from repro.core.parallel import WorkerPool
+
+        self._require_loaded()
+        pool = self._pool
+        if pool is None or pool.workers != workers:
+            if pool is not None:
+                pool.close()
+            pool = WorkerPool(
+                self.config, self.weights, workers,
+                telemetry=self.telemetry, local_engine=self,
+            )
+            self._pool = pool
+        else:
+            pool.telemetry = self.telemetry
+        return pool
+
+    def shutdown_pool(self) -> None:
+        """Release the cached worker pool (processes + shared memory)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def predict_proba(
+        self, sequences, chunk_size: int = 1024, workers: int = 1
+    ) -> np.ndarray:
         """Probabilities for a batch of sequences, shape ``(N,)``.
 
         Runs :meth:`infer_batch` over ``chunk_size``-sequence slices to
         bound the float path's ``(chunk, 4H, H+E)`` broadcast temporary;
         chunking cannot change any value (rows are independent).
+
+        With ``workers > 1`` the chunks shard across a persistent
+        :class:`~repro.core.parallel.WorkerPool` of forked processes and
+        merge in shard order — bit-exact with ``workers=1`` at every
+        optimisation level (falls back in-process where fork or shared
+        memory is unavailable).
         """
+        if workers > 1:
+            return self.worker_pool(workers).predict_proba(
+                sequences, chunk_size=chunk_size
+            )
         sequences = np.asarray(sequences)
         if sequences.ndim != 2:
             raise ValueError(f"expected (N, T) batch, got shape {sequences.shape}")
@@ -452,9 +509,13 @@ class CSDInferenceEngine:
             ]
         )
 
-    def predict(self, sequences, threshold: float = 0.5) -> np.ndarray:
+    def predict(
+        self, sequences, threshold: float = 0.5, workers: int = 1
+    ) -> np.ndarray:
         """Hard 0/1 predictions for a batch of sequences."""
-        return (self.predict_proba(sequences) >= threshold).astype(int)
+        return (
+            self.predict_proba(sequences, workers=workers) >= threshold
+        ).astype(int)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -38,7 +38,7 @@ from repro.core.config import EngineConfig, GATE_NAMES
 from repro.core.kernels.base import Kernel, KernelTiming
 from repro.core.weights import HostWeights, QuantizedHostWeights
 from repro.fixedpoint.activations import qsigmoid, qsoftsign
-from repro.fixedpoint.ops import qadd, qaffine, qmatmul
+from repro.fixedpoint.ops import operand_bound, qadd, qaffine, qmatmul
 from repro.hw.hls import DataflowRegion, FIXED_OPS, FLOAT_OPS, HlsLoop, LoopNest, PragmaSet
 
 #: Activation used by each gate in the deployed design.
@@ -91,6 +91,13 @@ class GatesKernel(Kernel):
         # built at load time for the batched path.
         self._stacked_float: tuple | None = None
         self._stacked_fixed: tuple | None = None
+        # Static overflow-screen bounds (max|W|): the weights never change
+        # after load, so screening them per timestep is pure overhead.
+        self._stacked_fixed_bound: float | None = None
+        self._gate_bounds: dict = {}
+        # Reusable [h_{t-1}, x_t] concat buffer for run_batch; reallocated
+        # only when the batch shape or dtype changes.
+        self._concat_batch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Function
@@ -111,6 +118,11 @@ class GatesKernel(Kernel):
                 np.concatenate([quantized.gates[g].matrix for g in GATE_NAMES], axis=0),
                 np.concatenate([quantized.gates[g].bias for g in GATE_NAMES]),
             )
+            # Screen the static weight operands exactly once, here.
+            self._stacked_fixed_bound = operand_bound(self._stacked_fixed[0])
+            self._gate_bounds = {
+                g: operand_bound(quantized.gates[g].matrix) for g in GATE_NAMES
+            }
 
     def run(self, hidden_prev: np.ndarray, embedding_copies: list) -> dict:
         """Evaluate all four gates for one item.
@@ -142,7 +154,9 @@ class GatesKernel(Kernel):
             concatenated = np.concatenate([hidden_prev, x_t])
             if fixed:
                 params = self._quantized.gates[gate]
-                pre = qaffine(params.matrix, concatenated, params.bias, self._quantized.fmt)
+                pre = qaffine(params.matrix, concatenated, params.bias,
+                              self._quantized.fmt,
+                              matrix_bound=self._gate_bounds[gate])
                 if GATE_ACTIVATIONS[gate] == "sigmoid":
                     outputs[gate] = qsigmoid(pre, self._quantized.fmt)
                 else:
@@ -180,13 +194,17 @@ class GatesKernel(Kernel):
             Gate name → activated ``(N, H)`` array.
         """
         hidden_size = self.config.dimensions.hidden_size
-        concatenated = np.concatenate([hidden_prev, x_t], axis=1)
+        concatenated = self._concatenated_batch(hidden_prev, x_t)
         if self.config.optimization.uses_fixed_point:
             if self._stacked_fixed is None:
                 raise RuntimeError("load_weights must be called before run_batch")
             stacked, bias = self._stacked_fixed
             fmt = self._quantized.fmt
-            pre = qadd(qmatmul(concatenated, stacked.T, fmt), bias)
+            pre = qadd(
+                qmatmul(concatenated, stacked.T, fmt,
+                        b_bound=self._stacked_fixed_bound),
+                bias,
+            )
             activate = {"sigmoid": qsigmoid, "softsign": qsoftsign}
             return {
                 gate: activate[GATE_ACTIVATIONS[gate]](
@@ -205,6 +223,25 @@ class GatesKernel(Kernel):
             )
             for index, gate in enumerate(GATE_NAMES)
         }
+
+    def _concatenated_batch(self, hidden_prev: np.ndarray, x_t: np.ndarray) -> np.ndarray:
+        """``[h_{t-1}, x_t]`` written into a reused ``(N, H+E)`` buffer.
+
+        One allocation per batch shape instead of one per timestep; the
+        values are copied element-for-element, so downstream results are
+        bit-identical to a fresh ``np.concatenate``.  The buffer is only
+        read within the same ``run_batch`` call, never retained by
+        downstream kernels.
+        """
+        dims = self.config.dimensions
+        shape = (hidden_prev.shape[0], dims.gate_input_size)
+        buffer = self._concat_batch
+        if buffer is None or buffer.shape != shape or buffer.dtype != hidden_prev.dtype:
+            buffer = np.empty(shape, dtype=hidden_prev.dtype)
+            self._concat_batch = buffer
+        buffer[:, :dims.hidden_size] = hidden_prev
+        buffer[:, dims.hidden_size:] = x_t
+        return buffer
 
     # ------------------------------------------------------------------
     # Timing

@@ -32,7 +32,7 @@ from repro.core.config import EngineConfig
 from repro.core.kernels.base import Kernel, KernelTiming
 from repro.core.weights import HostWeights, QuantizedHostWeights
 from repro.fixedpoint.activations import qsigmoid, qsoftsign
-from repro.fixedpoint.ops import qadd, qmatvec, qmul
+from repro.fixedpoint.ops import operand_bound, qadd, qmatvec, qmul
 from repro.hw.hls import FIXED_OPS, FLOAT_OPS, HlsLoop, LoopNest, PragmaSet, VANILLA_PRAGMAS
 from repro.nn.activations import sigmoid as float_sigmoid
 from repro.nn.activations import softsign as float_softsign
@@ -49,6 +49,7 @@ class HiddenStateKernel(Kernel):
         self._quantized: QuantizedHostWeights | None = None
         self._cell: np.ndarray | None = None
         self._counter = 0  # the paper's "static counter"
+        self._fc_bound: float | None = None  # static FC-weight screen bound
 
     # ------------------------------------------------------------------
     # Function
@@ -61,6 +62,7 @@ class HiddenStateKernel(Kernel):
             if quantized is None:
                 raise ValueError("fixed-point mode requires quantised weights")
             self._quantized = quantized
+            self._fc_bound = operand_bound(quantized.fc_weights)
         self.reset()
 
     def reset(self, batch_size: int | None = None) -> None:
@@ -166,7 +168,8 @@ class HiddenStateKernel(Kernel):
         if self.config.optimization.uses_fixed_point:
             fmt = self._quantized.fmt
             logits = qadd(
-                qmatvec(hidden, self._quantized.fc_weights, fmt),
+                qmatvec(hidden, self._quantized.fc_weights, fmt,
+                        vector_bound=self._fc_bound),
                 self._quantized.fc_bias,
             )
             return np.asarray(

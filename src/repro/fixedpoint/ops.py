@@ -42,6 +42,51 @@ _INT64_MIN = np.iinfo(np.int64).min
 #: slack under 2**63 - 1 for the estimate's own rounding error).
 _SAFE_MAGNITUDE = float(2**62)
 
+#: How many full-operand ``max(|x|)`` screens have run since import.  The
+#: static-bound regression test reads this to prove that constant weight
+#: matrices are screened once at load time, not once per timestep.
+_bound_scan_count = 0
+
+#: When set to a list, every screen appends the scanned element count.
+#: Off (``None``) outside tests so production runs never accumulate state.
+bound_scan_trace: list | None = None
+
+
+def _max_abs(array: np.ndarray) -> float:
+    """Full-operand overflow-screen bound: ``float(max(|array|))``.
+
+    Every call is counted (and traced when ``bound_scan_trace`` is a
+    list) so tests can assert which operands are re-screened per call.
+    Empty operands bound to 0.0.
+    """
+    global _bound_scan_count
+    _bound_scan_count += 1
+    if bound_scan_trace is not None:
+        bound_scan_trace.append(int(array.size))
+    if array.size == 0:
+        return 0.0
+    return float(np.max(np.abs(array.astype(np.float64))))
+
+
+def bound_scan_count() -> int:
+    """Total full-operand bound scans since import (monotonic)."""
+    return _bound_scan_count
+
+
+def operand_bound(array) -> float:
+    """Precompute the overflow-screen bound of a *static* operand.
+
+    The MAC-style ops (:func:`qmatvec`, :func:`qmatmul`, :func:`qaffine`)
+    screen both operands with ``max(|x|)`` before deciding whether the
+    int64 accumulation could have wrapped.  For an operand that never
+    changes — a weight matrix loaded once — that scan is pure per-call
+    overhead: compute it here once and pass it back via the ops'
+    ``*_bound`` keywords.  The value is bit-identical to what the op
+    would compute itself, so the screen's branch decisions (and therefore
+    every numeric result) are unchanged.
+    """
+    return _max_abs(np.asarray(array, dtype=np.int64))
+
 
 class FixedPointOverflowError(OverflowError):
     """A fixed-point product or accumulation exceeded the int64 range."""
@@ -117,9 +162,7 @@ def qmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
     product = a64 * b64
     max_estimate = 0.0
     if a64.size and b64.size:
-        max_estimate = float(np.max(np.abs(a64.astype(np.float64)))) * float(
-            np.max(np.abs(b64.astype(np.float64)))
-        )
+        max_estimate = _max_abs(a64) * _max_abs(b64)
     if max_estimate < _SAFE_MAGNITUDE:
         return _rounded_scale_division(product, fmt.scale)
 
@@ -140,21 +183,27 @@ def qmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
 
 
 def _wide_accumulate_rescale(matrix, other, fmt: QFormat, on_overflow: str,
-                             context: str):
+                             context: str, matrix_bound: float | None = None,
+                             other_bound: float | None = None):
     """Shared core of the MAC-style ops: int64 ``matrix @ other`` accumulated
     at full ``scale**2`` width, overflow-checked, then rescaled once.
 
     Both operands must already be validated int64 2-D arrays with matching
     inner dimensions.  Returns the rescaled int64 result of shape
     ``(matrix.shape[0], other.shape[1])``.
+
+    ``matrix_bound`` / ``other_bound`` are optional precomputed
+    :func:`operand_bound` values; passing one for a static operand (a
+    weight matrix) skips that operand's per-call ``max(|x|)`` scan without
+    changing any screen decision or numeric result.
     """
     accumulated = matrix @ other
 
     # Cheap screen first: if no element-count-scaled product can reach the
     # danger zone, skip the bound matmul entirely (the hot path).
     inner = matrix.shape[1]
-    max_m = float(np.max(np.abs(matrix.astype(np.float64)), initial=0.0))
-    max_o = float(np.max(np.abs(other.astype(np.float64)), initial=0.0))
+    max_m = _max_abs(matrix) if matrix_bound is None else matrix_bound
+    max_o = _max_abs(other) if other_bound is None else other_bound
     if max_m * max_o * max(inner, 1) < _SAFE_MAGNITUDE:
         return _rounded_scale_division(accumulated, fmt.scale)
 
@@ -181,14 +230,18 @@ def _wide_accumulate_rescale(matrix, other, fmt: QFormat, on_overflow: str,
                               context)
 
 
-def qmatvec(matrix, vector, fmt: QFormat, on_overflow: str = "saturate"):
+def qmatvec(matrix, vector, fmt: QFormat, on_overflow: str = "saturate",
+            matrix_bound: float | None = None,
+            vector_bound: float | None = None):
     """Fixed-point matrix-vector product.
 
     Accumulation happens at full ``scale**2`` precision (int64), mirroring
     the wide DSP accumulators on the FPGA; a single rescale is applied at
     the end.  This ordering (accumulate wide, rescale once) loses less
     precision than rescaling each product, and is the standard DSP-slice
-    MAC idiom the paper's Section III-D targets.
+    MAC idiom the paper's Section III-D targets.  ``matrix_bound`` /
+    ``vector_bound`` accept a precomputed :func:`operand_bound` for a
+    static operand, skipping its per-call overflow-screen scan.
     """
     matrix = np.asarray(matrix, dtype=np.int64)
     vector = np.asarray(vector, dtype=np.int64)
@@ -201,11 +254,13 @@ def qmatvec(matrix, vector, fmt: QFormat, on_overflow: str = "saturate"):
             f"shape mismatch: matrix {matrix.shape} x vector {vector.shape}"
         )
     return _wide_accumulate_rescale(
-        matrix, vector[:, np.newaxis], fmt, on_overflow, "qmatvec"
+        matrix, vector[:, np.newaxis], fmt, on_overflow, "qmatvec",
+        matrix_bound=matrix_bound, other_bound=vector_bound,
     )[:, 0]
 
 
-def qmatmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
+def qmatmul(a, b, fmt: QFormat, on_overflow: str = "saturate",
+            a_bound: float | None = None, b_bound: float | None = None):
     """Fixed-point matrix-matrix product ``a @ b``, rescaled once.
 
     Both operands are in-format 2-D int64 arrays; each output element is a
@@ -222,7 +277,8 @@ def qmatmul(a, b, fmt: QFormat, on_overflow: str = "saturate"):
         raise ValueError(f"expected 2-D operands, got {a.shape} and {b.shape}")
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
-    return _wide_accumulate_rescale(a, b, fmt, on_overflow, "qmatmul")
+    return _wide_accumulate_rescale(a, b, fmt, on_overflow, "qmatmul",
+                                    matrix_bound=a_bound, other_bound=b_bound)
 
 
 def qdot(a, b, fmt: QFormat, on_overflow: str = "saturate"):
@@ -238,14 +294,17 @@ def qdot(a, b, fmt: QFormat, on_overflow: str = "saturate"):
     )
 
 
-def qaffine(matrix, vector, bias, fmt: QFormat, on_overflow: str = "saturate"):
+def qaffine(matrix, vector, bias, fmt: QFormat, on_overflow: str = "saturate",
+            matrix_bound: float | None = None):
     """Fixed-point affine transform ``matrix @ vector + bias``.
 
     This is the core computation of every LSTM gate: the weight matrix
     multiplies the concatenated ``[h_{t-1}, x_t]`` input and the bias is
-    added in-format after the product rescale.
+    added in-format after the product rescale.  ``matrix_bound`` accepts
+    the weight matrix's precomputed :func:`operand_bound`.
     """
     return qadd(
-        qmatvec(matrix, vector, fmt, on_overflow=on_overflow),
+        qmatvec(matrix, vector, fmt, on_overflow=on_overflow,
+                matrix_bound=matrix_bound),
         np.asarray(bias, dtype=np.int64),
     )

@@ -200,6 +200,41 @@ class MetricRegistry:
         """Every instrument, sorted by (name, labels) for determinism."""
         return [self._metrics[key] for key in sorted(self._metrics)]
 
+    def merge_snapshot(self, records) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The cross-process counterpart of :meth:`Histogram.merge`: worker
+        processes return plain-data snapshots, and the parent folds them
+        in exactly — counters add, gauges take the incoming value,
+        histograms merge bucket-wise (identical bounds required).  Merging
+        is associative and commutative for counters and histograms, so
+        shard results can be folded in any order without loss.
+        """
+        for record in records:
+            labels = dict(record.get("labels") or {})
+            kind = record["type"]
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(record["name"], **labels).set(record["value"])
+            elif kind == "histogram":
+                bounds = tuple(le for le, _ in record["buckets"][:-1])
+                histogram = self.histogram(record["name"], buckets=bounds, **labels)
+                if histogram.bucket_bounds != bounds:
+                    raise ValueError(
+                        f"cannot merge snapshot histogram {record['name']!r} "
+                        f"with different buckets: {histogram.bucket_bounds} "
+                        f"vs {bounds}"
+                    )
+                previous = 0
+                for index, (_, cumulative) in enumerate(record["buckets"]):
+                    histogram.bucket_counts[index] += cumulative - previous
+                    previous = cumulative
+                histogram.count += record["count"]
+                histogram.sum += record["sum"]
+            else:
+                raise ValueError(f"unknown snapshot record type {kind!r}")
+
     def snapshot(self) -> list:
         """Plain-data view of every instrument (the export surface)."""
         records = []

@@ -91,9 +91,12 @@ class TestBatchAccounting:
         engine = make_engine(model, level)
         result = engine.infer_batch(make_batch(3))
         assert result.batch_size == 3
-        views = result.results()
+        lazy = result.results()
+        assert iter(lazy) is lazy  # generator: nothing materialised eagerly
+        views = list(lazy)
         assert [v.probability for v in views] == result.probabilities.tolist()
         assert all(v.timing == result.timing for v in views)
+        assert result.result_at(1) == views[1]
 
 
 class TestBatchValidation:

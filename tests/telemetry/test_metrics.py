@@ -163,3 +163,64 @@ class TestRegistry:
         assert hist["type"] == "histogram"
         assert hist["count"] == 1 and hist["sum"] == 3
         assert hist["buckets"][-1] == ["+Inf", 1]
+
+
+class TestMergeSnapshot:
+    """Cross-process fold-in: the worker-pool telemetry merge path."""
+
+    def _worker_registry(self):
+        reg = MetricRegistry()
+        reg.counter("repro_batches_total").inc(3)
+        reg.counter("repro_seq_total", optimization="FIXED_POINT").inc(40)
+        reg.gauge("repro_depth").set(5)
+        hist = reg.histogram("repro_batch_size")
+        hist.observe(4, count=2)
+        hist.observe(100)
+        return reg
+
+    def test_merge_into_empty_reproduces_snapshot(self):
+        source = self._worker_registry()
+        target = MetricRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_is_exact_fold_in(self):
+        target = self._worker_registry()
+        target.merge_snapshot(self._worker_registry().snapshot())
+        assert target.counter("repro_batches_total").value == 6
+        assert target.counter(
+            "repro_seq_total", optimization="FIXED_POINT"
+        ).value == 80
+        assert target.gauge("repro_depth").value == 5  # gauges take the value
+        hist = target.histogram("repro_batch_size")
+        assert hist.count == 6
+        assert hist.sum == 2 * (4 * 2 + 100)
+
+    def test_merge_order_independent_for_counters_and_histograms(self):
+        a, b = self._worker_registry(), MetricRegistry()
+        b.counter("repro_batches_total").inc(7)
+        b.histogram("repro_batch_size").observe(9)
+
+        left = MetricRegistry()
+        left.merge_snapshot(a.snapshot())
+        left.merge_snapshot(b.snapshot())
+        right = MetricRegistry()
+        right.merge_snapshot(b.snapshot())
+        right.merge_snapshot(a.snapshot())
+        assert [r for r in left.snapshot() if r["type"] != "gauge"] == [
+            r for r in right.snapshot() if r["type"] != "gauge"
+        ]
+
+    def test_mismatched_buckets_raise(self):
+        source = MetricRegistry()
+        source.histogram("repro_x_cycles", buckets=(1, 2, 4)).observe(3)
+        target = MetricRegistry()
+        target.histogram("repro_x_cycles", buckets=(1, 10))
+        with pytest.raises(ValueError, match="different buckets"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_unknown_record_type_raises(self):
+        with pytest.raises(ValueError, match="unknown snapshot record"):
+            MetricRegistry().merge_snapshot(
+                [{"type": "summary", "name": "x", "labels": {}, "value": 1}]
+            )
