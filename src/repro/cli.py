@@ -10,6 +10,10 @@ Commands cover the operational loop a data-center operator would run:
   through a deployed detector, reporting the alarm point;
 * ``report``   — print the Vitis-style emulation report for a
   configuration (utilisation + per-kernel timing);
+* ``monitor``  — interleave sandboxed multi-process traces and stream
+  them through the session-based process monitor (incremental per-token
+  inference, batched across processes, memory-budgeted; see
+  ``docs/streaming.md``);
 * ``fleet-serve`` — run the deterministic multi-device serving
   simulator (dynamic batching, bounded queues, timeout/failover) over a
   seeded synthetic workload and print latency/shed/utilisation figures.
@@ -192,6 +196,123 @@ def _run_report(args) -> int:
     return 0
 
 
+def _add_monitor_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "monitor",
+        help="stream interleaved multi-process traces through the "
+             "session-based process monitor",
+    )
+    parser.add_argument("weights", help="weight file from the train command")
+    parser.add_argument("--ransomware", type=int, default=1,
+                        help="number of ransomware processes to interleave")
+    parser.add_argument("--benign", type=int, default=3,
+                        help="number of benign processes to interleave")
+    parser.add_argument("--sequence-length", type=int, default=100)
+    parser.add_argument("--threshold", type=float, default=0.5)
+    parser.add_argument("--stride", type=int, default=10)
+    parser.add_argument("--optimization", choices=[l.name for l in OptimizationLevel],
+                        default="FIXED_POINT")
+    parser.add_argument("--memory-budget-kib", type=int, default=None,
+                        help="resident session-state budget; excess "
+                             "processes are evicted to checkpoints")
+    parser.add_argument("--idle-after", type=int, default=None,
+                        help="evict a process after this many ticks "
+                             "without a call")
+    parser.add_argument("--early-exit", action="store_true",
+                        help="stop stepping a process once it is flagged")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_monitor)
+
+
+def _run_monitor(args) -> int:
+    from repro.ransomware.benign import ALL_BENIGN_PROFILES
+    from repro.ransomware.monitor import ProcessMonitor
+    from repro.ransomware.replay import HostReplay
+
+    engine = CSDInferenceEngine.from_weight_file(
+        args.weights, sequence_length=args.sequence_length
+    )
+    engine = _engine_at(engine, OptimizationLevel[args.optimization])
+    _maybe_attach_telemetry(engine, args)
+    sandbox = CuckooSandbox(seed=args.seed)
+    traces = [
+        sandbox.execute_ransomware(
+            ALL_FAMILIES[i % len(ALL_FAMILIES)],
+            i // len(ALL_FAMILIES),
+        )
+        for i in range(args.ransomware)
+    ]
+    traces += [
+        sandbox.execute_benign(
+            ALL_BENIGN_PROFILES[i % len(ALL_BENIGN_PROFILES)],
+            i // len(ALL_BENIGN_PROFILES),
+        )
+        for i in range(args.benign)
+    ]
+    events = HostReplay.interleave(traces, seed=args.seed)
+    monitor = ProcessMonitor(
+        engine, threshold=args.threshold, stride=args.stride,
+        memory_budget_bytes=(args.memory_budget_kib * 1024
+                             if args.memory_budget_kib is not None else None),
+        idle_after_steps=args.idle_after,
+        early_exit=args.early_exit,
+    )
+    sources = {
+        1000 + index: (trace.source, trace.is_ransomware)
+        for index, trace in enumerate(traces)
+    }
+    first_detection: dict = {}
+    calls_fed: dict = {}
+    # Greedy tick batching: walk the interleaved schedule and group one
+    # call per process into each batched step — the same cross-process
+    # batching a live tick-driven monitor would achieve.
+    tick: dict = {}
+    ticks = 0
+
+    def flush() -> None:
+        nonlocal ticks
+        if not tick:
+            return
+        ticks += 1
+        for pid, verdict in monitor.observe_tick(tick).items():
+            if verdict.is_ransomware and pid not in first_detection:
+                first_detection[pid] = (calls_fed[pid], verdict)
+        tick.clear()
+
+    for event in events:
+        if event.process_id in tick:
+            flush()
+        tick[event.process_id] = event.call
+        calls_fed[event.process_id] = calls_fed.get(event.process_id, 0) + 1
+    flush()
+
+    print(f"monitored {len(traces)} processes "
+          f"({args.ransomware} ransomware, {args.benign} benign), "
+          f"{len(events)} interleaved calls in {ticks} batched ticks")
+    for pid in sorted(sources):
+        source, is_ransomware = sources[pid]
+        label = "ransomware" if is_ransomware else "benign"
+        if pid in first_detection:
+            calls, verdict = first_detection[pid]
+            print(f"pid {pid} [{label:10s}] {source}: FLAGGED at call {calls} "
+                  f"(p={verdict.probability:.3f})")
+        else:
+            print(f"pid {pid} [{label:10s}] {source}: clean "
+                  f"({calls_fed.get(pid, 0)} calls)")
+    stats = monitor.stats()
+    print(f"sessions: {stats['resident_sessions']} resident, "
+          f"{stats['checkpointed_sessions']} checkpointed, "
+          f"{stats['slot_steps']} slot-steps over {stats['steps']} ticks")
+    if stats["evictions"]:
+        breakdown = ", ".join(
+            f"{k}={v}" for k, v in sorted(stats["evictions"].items())
+        )
+        print(f"evictions: {breakdown} (restores {stats['restores']})")
+    missed = [pid for pid, (_, ransom) in sources.items()
+              if ransom and pid not in first_detection]
+    return 1 if missed else 0
+
+
 def _add_fleet_serve_command(subparsers) -> None:
     parser = subparsers.add_parser(
         "fleet-serve",
@@ -318,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate_command(subparsers)
     _add_scan_command(subparsers)
     _add_report_command(subparsers)
+    _add_monitor_command(subparsers)
     _add_fleet_serve_command(subparsers)
     return parser
 

@@ -18,8 +18,19 @@ from repro.core.serving import (
     ServingConfig,
     ServingReport,
     ServingRequest,
+    SessionServingReport,
+    StreamVerdictRecord,
+    TokenArrival,
     build_fleet,
+    generate_token_workload,
     generate_workload,
+)
+from repro.core.sessions import (
+    SessionCheckpoint,
+    SessionConfig,
+    SessionManager,
+    SessionVerdict,
+    StreamSession,
 )
 from repro.core.throughput import ThroughputReport, throughput_report
 from repro.core.mixed_precision import (
@@ -59,11 +70,20 @@ __all__ = [
     "ServingConfig",
     "ServingReport",
     "ServingRequest",
+    "SessionCheckpoint",
+    "SessionConfig",
+    "SessionManager",
+    "SessionServingReport",
+    "SessionVerdict",
+    "StreamSession",
+    "StreamVerdictRecord",
     "StreamingReport",
     "ThroughputReport",
+    "TokenArrival",
     "build_fleet",
     "engine_at_level",
     "evaluate_policy",
+    "generate_token_workload",
     "generate_workload",
     "kernel_breakdown",
     "optimization_sweep",

@@ -153,6 +153,34 @@ class HiddenStateKernel(Kernel):
             predictions = self.classify_batch(hidden)
         return hidden, predictions
 
+    def step_batch(self, gates: dict, cell: np.ndarray) -> tuple:
+        """Stateless cell/hidden update over caller-owned ``(N, H)`` state.
+
+        Identical arithmetic to :meth:`run_batch`, but the cell state is
+        an argument and the new state is returned instead of stored — no
+        internal ``_cell``/``_counter`` mutation, no classification.
+        This lets the streaming session layer step arbitrary row subsets
+        (many streams, many partial windows) while staying bit-identical
+        to the sequential update of each window: every operation here is
+        element-wise per row.
+
+        Returns
+        -------
+        tuple
+            ``(hidden, new_cell)`` — both ``(N, H)``, freshly allocated.
+        """
+        if self._weights is None:
+            raise RuntimeError("load_weights must be called before step_batch")
+        i_t, f_t, o_t, c_bar = gates["i"], gates["f"], gates["o"], gates["c"]
+        if self.config.optimization.uses_fixed_point:
+            fmt = self._quantized.fmt
+            new_cell = qadd(qmul(f_t, cell, fmt), qmul(i_t, c_bar, fmt))
+            hidden = qmul(o_t, qsoftsign(new_cell, fmt), fmt)
+        else:
+            new_cell = f_t * cell + i_t * c_bar
+            hidden = o_t * float_softsign(new_cell)
+        return hidden, new_cell
+
     def _classify(self, hidden: np.ndarray) -> float:
         """Map the final hidden state to a ransomware probability."""
         return float(self.classify_batch(hidden[np.newaxis, :])[0])

@@ -45,6 +45,7 @@ import math
 import numpy as np
 
 from repro.core.fleet import FleetPlan, FleetPlanner, MonitoredStream
+from repro.core.sessions import SessionConfig, SessionManager
 from repro.hw.faults import FaultPlan
 from repro.hw.sim import Simulator
 
@@ -218,13 +219,110 @@ def generate_workload(
     ]
 
 
+@dataclasses.dataclass(frozen=True)
+class TokenArrival:
+    """One API-call token of one monitored stream (session-mode input)."""
+
+    stream: str
+    token: int
+    arrival_us: int
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamVerdictRecord:
+    """A window verdict emitted by the session-mode fleet."""
+
+    stream: str
+    window_index: int
+    probability: float
+    is_ransomware: bool
+    device: int
+    completion_us: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionServingReport:
+    """Outcome of one simulated session-mode (token-stream) serving run."""
+
+    verdicts: tuple
+    tokens_offered: int
+    tokens_shed: dict
+    migrated_sessions: int
+    device_failures: int
+    event_log: tuple
+    duration_us: int
+    device_busy_us: tuple
+    token_latencies: tuple      # per-token arrival → tick-completion, us
+    session_stats: tuple        # one SessionManager.stats() dict per device
+
+    @property
+    def verdict_count(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def shed_count(self) -> int:
+        return sum(self.tokens_shed.values())
+
+    def token_latency_percentile_us(self, percentile: float) -> float:
+        """Nearest-rank percentile of per-token serving latency."""
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        latencies = np.sort(np.array(self.token_latencies, dtype=np.int64))
+        if latencies.size == 0:
+            return float("nan")
+        rank = max(1, math.ceil(percentile / 100.0 * latencies.size))
+        return float(latencies[rank - 1])
+
+    def device_utilization(self) -> tuple:
+        horizon = max(self.duration_us, 1)
+        return tuple(busy / horizon for busy in self.device_busy_us)
+
+
+def generate_token_workload(
+    streams,
+    duration_us: int,
+    tokens_per_second: float,
+    vocab_size: int = 278,
+    seed: int = 0,
+) -> list:
+    """Seeded per-stream Poisson token arrivals (session-mode workload).
+
+    The token-level sibling of :func:`generate_workload`: each stream
+    emits single API-call tokens at ``tokens_per_second`` with
+    exponential inter-arrivals from an RNG derived from ``(seed, stream
+    index)``.  Returns :class:`TokenArrival` sorted by
+    ``(arrival_us, stream)``.
+    """
+    if duration_us <= 0:
+        raise ValueError(f"duration_us must be positive, got {duration_us}")
+    if tokens_per_second <= 0:
+        raise ValueError(
+            f"tokens_per_second must be positive, got {tokens_per_second}"
+        )
+    arrivals = []
+    for index, stream in enumerate(streams):
+        rng = np.random.default_rng([seed, index])
+        mean_gap_us = 1e6 / tokens_per_second
+        clock = 0.0
+        while True:
+            clock += rng.exponential(mean_gap_us)
+            arrival = int(round(clock))
+            if arrival >= duration_us:
+                break
+            token = int(rng.integers(0, vocab_size))
+            arrivals.append(TokenArrival(stream=stream.name, token=token,
+                                         arrival_us=arrival))
+    arrivals.sort(key=lambda a: (a.arrival_us, a.stream))
+    return arrivals
+
+
 class _Device:
     """One simulated drive: an engine, a bounded queue, a health flag."""
 
     __slots__ = (
         "index", "engine", "fault_plan", "service_us", "queue", "busy",
         "dead", "current_batch", "batch_start_us", "busy_us", "batches",
-        "pending_task",
+        "pending_task", "sessions", "token_buffer", "current_tick",
     )
 
     def __init__(self, index: int, engine, fault_plan: FaultPlan):
@@ -240,6 +338,9 @@ class _Device:
         self.busy_us = 0
         self.batches = 0
         self.pending_task = None    # (batch_id, WorkerPool handle)
+        self.sessions = None        # SessionManager (session mode only)
+        self.token_buffer: list = []
+        self.current_tick = None    # (tick_id, [TokenArrival], [verdicts])
 
 
 class FleetServer:
@@ -343,6 +444,16 @@ class FleetServer:
         self._offered = 0
         self._batch_counter = 0
         self._pool = None  # live only inside serve() when workers > 1
+
+        # Session (token-stream) mode state; populated by serve_tokens().
+        self._token_mode = False
+        self._tokens_offered = 0
+        self._tokens_shed: dict = {}
+        self._verdict_records: list = []
+        self._token_latencies: list = []
+        self._migrated_sessions = 0
+        self._tick_counter = 0
+        self._token_step_us: dict = {}
 
     # ------------------------------------------------------------------
     # Routing
@@ -577,6 +688,9 @@ class FleetServer:
             self.telemetry.counter("repro_serve_device_failures_total").inc()
         self._log("device_failed", device=device.index)
         self._reroute_after_failure(device.index)
+        if device.sessions is not None:
+            self._failover_sessions(device)
+            return
         orphans: list = []
         if device.current_batch is not None:
             batch_id, batch = device.current_batch
@@ -620,6 +734,211 @@ class FleetServer:
                     reassigned += 1
                 else:
                     del self._stream_device[name]
+
+    # ------------------------------------------------------------------
+    # Session (token-stream) mode
+    # ------------------------------------------------------------------
+
+    def _token_arrive(self, arrival: TokenArrival) -> None:
+        self._tokens_offered += 1
+        device = self._routable_device(self._stream_device.get(arrival.stream))
+        if device is None:
+            self._shed_token(arrival, SHED_NO_DEVICE)
+            return
+        self._buffer_token(device, arrival)
+
+    def _buffer_token(self, device: _Device, arrival: TokenArrival) -> None:
+        if len(device.token_buffer) >= self.config.queue_depth:
+            self._shed_token(arrival, SHED_QUEUE_FULL)
+            return
+        device.token_buffer.append((self._sim.now, arrival))
+        self._maybe_flush_tokens(device)
+
+    def _shed_token(self, arrival: TokenArrival, reason: str) -> None:
+        self._tokens_shed[reason] = self._tokens_shed.get(reason, 0) + 1
+        self._log("token_shed", stream=arrival.stream, reason=reason)
+
+    def _maybe_flush_tokens(self, device: _Device) -> None:
+        """Run a tick if the batching policy says so, else arm a wake.
+
+        The same policy shape as request-mode ``_maybe_flush``, counted
+        in *distinct streams*: a tick steps at most one token per stream
+        (per-stream order is sacred), so only cross-stream accumulation
+        widens the batched matmul.
+        """
+        if device.dead or device.busy or not device.token_buffer:
+            return
+        now = self._sim.now
+        distinct = len({entry[1].stream for entry in device.token_buffer})
+        oldest_wait = now - device.token_buffer[0][0]
+        if (distinct >= self.config.max_batch
+                or oldest_wait >= self.config.max_wait_us):
+            self._execute_tick(device)
+            return
+        wake_at = device.token_buffer[0][0] + self.config.max_wait_us
+        self._sim.schedule(wake_at - now, lambda: self._maybe_flush_tokens(device))
+
+    def _execute_tick(self, device: _Device) -> None:
+        """Step one buffered token per stream through the session manager.
+
+        The numeric step runs at tick *launch* (host simulation is
+        instantaneous on the simulated clock); verdict delivery waits for
+        the simulated service completion.  Per-slot-row service cost is
+        one LSTM timestep (``per_item_microseconds``), which is the whole
+        point: smooth incremental cost instead of whole-window recompute
+        bursts.
+        """
+        now = self._sim.now
+        tick_tokens: dict = {}
+        tick_arrivals: list = []
+        rest: list = []
+        for entry in device.token_buffer:
+            arrival = entry[1]
+            if arrival.stream in tick_tokens:
+                rest.append(entry)
+            else:
+                tick_tokens[arrival.stream] = arrival.token
+                tick_arrivals.append(arrival)
+        device.token_buffer = rest
+        rows_before = device.sessions.stats()["slot_steps"]
+        verdicts = device.sessions.step(tick_tokens)
+        rows = device.sessions.stats()["slot_steps"] - rows_before
+        self._tick_counter += 1
+        tick_id = self._tick_counter
+        device.busy = True
+        device.batch_start_us = now
+        device.current_tick = (tick_id, tick_arrivals, verdicts)
+        step_us = self._token_step_us.get(device.index)
+        if step_us is None:
+            step_us = device.engine.per_item_microseconds()
+            self._token_step_us[device.index] = step_us
+        slowdown = device.fault_plan.service_slowdown(now)
+        service_us = max(1, math.ceil(max(rows, 1) * step_us * slowdown))
+        self._log(
+            "tick_start", tick=tick_id, device=device.index,
+            streams=len(tick_arrivals), rows=rows, service_us=service_us,
+        )
+        self._sim.schedule(
+            service_us, lambda: self._complete_tick(device, tick_id)
+        )
+
+    def _complete_tick(self, device: _Device, tick_id: int) -> None:
+        if device.dead or device.current_tick is None:
+            return  # handled by the failure path
+        current_id, arrivals, verdicts = device.current_tick
+        if current_id != tick_id:
+            return  # stale wake
+        now = self._sim.now
+        device.busy = False
+        device.current_tick = None
+        device.busy_us += now - device.batch_start_us
+        device.batches += 1
+        self._deliver_tick(device, tick_id, arrivals, verdicts)
+        self._maybe_flush_tokens(device)
+
+    def _deliver_tick(self, device: _Device, tick_id: int, arrivals: list,
+                      verdicts: list, aborted: bool = False) -> None:
+        now = self._sim.now
+        for arrival in arrivals:
+            self._token_latencies.append(now - arrival.arrival_us)
+        for verdict in verdicts:
+            self._verdict_records.append(StreamVerdictRecord(
+                stream=verdict.session,
+                window_index=verdict.window_index,
+                probability=verdict.probability,
+                is_ransomware=verdict.is_ransomware,
+                device=device.index,
+                completion_us=now,
+            ))
+        self._log(
+            "tick_complete", tick=tick_id, device=device.index,
+            verdicts=len(verdicts), aborted=aborted,
+        )
+
+    def _failover_sessions(self, device: _Device) -> None:
+        """Hand a dead device's session state to the survivors.
+
+        The tick in flight at failure already advanced the session state
+        (the step runs at launch), so its verdicts are delivered rather
+        than dropped — the per-stream verdict sequence is invariant
+        under failures; only timing shifts.  Every session the device
+        held (resident or checkpointed) migrates as a checkpoint to the
+        stream's re-routed device, along with the buffered tokens.
+        """
+        if device.current_tick is not None:
+            device.busy_us += self._sim.now - device.batch_start_us
+            device.busy = False
+            tick_id, arrivals, verdicts = device.current_tick
+            device.current_tick = None
+            self._deliver_tick(device, tick_id, arrivals, verdicts,
+                               aborted=True)
+        migrated = 0
+        for key in device.sessions.known_keys():
+            target = self._routable_device(self._stream_device.get(key))
+            if target is None or target.sessions is None:
+                continue
+            target.sessions.import_checkpoint(
+                device.sessions.export_checkpoint(key)
+            )
+            migrated += 1
+        self._migrated_sessions += migrated
+        self._log("sessions_migrated", device=device.index, count=migrated)
+        buffered = device.token_buffer
+        device.token_buffer = []
+        for _, arrival in buffered:
+            target = self._routable_device(self._stream_device.get(arrival.stream))
+            if target is None:
+                self._shed_token(arrival, SHED_NO_DEVICE)
+                continue
+            self._buffer_token(target, arrival)
+
+    def serve_tokens(self, arrivals,
+                     sessions: SessionConfig | None = None) -> SessionServingReport:
+        """Run the session-mode simulation over a token-arrival schedule.
+
+        Each device runs a :class:`~repro.core.sessions.SessionManager`
+        over its affine streams (the same stream→device routing the
+        request path uses), stepping one buffered token per stream per
+        tick through one stacked batched matmul.  Device failures
+        migrate session checkpoints to the re-routed devices, so
+        monitoring continues without losing window state.  Deterministic
+        like :meth:`serve`: one seed → identical event logs and verdicts.
+        """
+        session_config = sessions or SessionConfig()
+        self._token_mode = True
+        for device in self.devices:
+            device.sessions = SessionManager(device.engine, session_config)
+        arrivals = sorted(arrivals, key=lambda a: (a.arrival_us, a.stream))
+        for device in self.devices:
+            fail = device.fault_plan.device_fail
+            if fail is not None:
+                self._sim.schedule(
+                    fail.at_us, (lambda d: lambda: self._fail_device(d))(device)
+                )
+        for arrival in arrivals:
+            self._sim.schedule(
+                arrival.arrival_us,
+                (lambda a: lambda: self._token_arrive(a))(arrival),
+            )
+        duration = self._sim.run()
+        if self.telemetry is not None:
+            horizon = max(duration, 1)
+            for device in self.devices:
+                self.telemetry.gauge(
+                    "repro_serve_device_utilization", device=device.index
+                ).set(device.busy_us / horizon)
+        return SessionServingReport(
+            verdicts=tuple(self._verdict_records),
+            tokens_offered=self._tokens_offered,
+            tokens_shed=dict(self._tokens_shed),
+            migrated_sessions=self._migrated_sessions,
+            device_failures=self._device_failures,
+            event_log=tuple(self._events),
+            duration_us=duration,
+            device_busy_us=tuple(d.busy_us for d in self.devices),
+            token_latencies=tuple(self._token_latencies),
+            session_stats=tuple(d.sessions.stats() for d in self.devices),
+        )
 
     # ------------------------------------------------------------------
     # Entry point

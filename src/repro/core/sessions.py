@@ -1,0 +1,550 @@
+"""Streaming sessions: stateful incremental inference for live streams.
+
+The paper's deployment story is continuous in-drive monitoring of live
+I/O — a stream of API calls per process, classified over overlapping
+sliding windows.  Re-running :meth:`~repro.core.engine.CSDInferenceEngine.infer_sequence`
+over the whole window at every stride gives O(window) recompute *bursts*
+per verdict and no way to batch across streams.  This module is the
+online-serving answer:
+
+* :class:`StreamSession` carries the LSTM ``(h, C)`` state **per token**,
+  with a rotating ring of partial window states — one per overlapping
+  stride window — so each arriving token advances every open window by a
+  single step and the per-token cost is smooth instead of bursty.
+* :class:`SessionManager` steps *many* sessions per tick through one
+  stacked batched gate matmul (the same kernels ``infer_batch`` uses), so
+  kernel-invocation overhead amortises across all streams and all ring
+  slots; it enforces a memory budget via LRU/idle eviction with
+  checkpoint/restore of evicted session state, and emits a verdict the
+  moment a window completes (optionally early-exiting flagged streams).
+
+The per-token stepping path is **bit-exact** with ``infer_sequence`` on
+the same window at every :class:`~repro.core.config.OptimizationLevel`:
+the gate step routes through :meth:`~repro.core.kernels.gates.GatesKernel.run_batch`
+(batch-stable float reductions, exact int64 fixed-point accumulation),
+the cell/hidden update through the stateless
+:meth:`~repro.core.kernels.hidden_state.HiddenStateKernel.step_batch`,
+and the FC head through ``classify_batch`` — all row-independent, so a
+window stepped token by token inside an arbitrary batch of other
+sessions produces the identical probability to a fresh full-window
+recompute.  See ``docs/streaming.md`` for the lifecycle and semantics.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+
+import numpy as np
+
+#: Fixed per-session bookkeeping estimate (Python objects, dict slots)
+#: on top of the ring's state arrays; used by the memory budget.
+SESSION_OVERHEAD_BYTES = 256
+
+#: Eviction reasons (the ``reason`` label of
+#: ``repro_session_evictions_total``).
+EVICT_LRU = "lru"
+EVICT_IDLE = "idle"
+EVICT_CLOSED = "closed"
+EVICT_MIGRATED = "migrated"
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionConfig:
+    """Policy knobs of a :class:`SessionManager`.
+
+    Parameters
+    ----------
+    threshold:
+        Ransomware probability above which a completed window raises a
+        positive verdict (same semantics as the offline detector).
+    stride:
+        Open a new window every ``stride`` tokens (1 = classify every
+        window, as in :class:`~repro.ransomware.detector.RansomwareDetector`).
+    memory_budget_bytes:
+        Bound on resident session state; exceeding it evicts the least
+        recently stepped sessions to the checkpoint store (``None`` =
+        unbounded).  Must hold at least one session.
+    max_resident_sessions:
+        Direct cap on resident sessions (``None`` = derived from the
+        byte budget only).  The effective cap is the minimum of both.
+    idle_after_steps:
+        Evict a session once this many manager ticks pass without it
+        receiving a token (``None`` = never).  Evicted state is
+        checkpointed, not lost — an idle process that wakes up restores
+        transparently.
+    early_exit:
+        Once a session raises a ransomware verdict, stop stepping it:
+        subsequent tokens are dropped without inference until the
+        session is reset or closed.  Off by default (parity with the
+        recompute detector, which keeps classifying).
+    """
+
+    threshold: float = 0.5
+    stride: int = 1
+    memory_budget_bytes: int | None = None
+    max_resident_sessions: int | None = None
+    idle_after_steps: int | None = None
+    early_exit: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive")
+        if self.max_resident_sessions is not None and self.max_resident_sessions < 1:
+            raise ValueError("max_resident_sessions must be >= 1")
+        if self.idle_after_steps is not None and self.idle_after_steps < 1:
+            raise ValueError("idle_after_steps must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionVerdict:
+    """One completed window's classification for one stream."""
+
+    session: object          # the session key (process id, stream name, ...)
+    window_index: int        # 0 = the stream's first fully-formed window
+    probability: float
+    is_ransomware: bool
+    inference_microseconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionCheckpoint:
+    """The complete restorable state of one evicted session.
+
+    Slots are ``(start, filled, hidden, cell)`` tuples holding *copies*
+    of the ring arrays, so a checkpoint can never alias live state.
+    Restoring a checkpoint and continuing the stream produces verdicts
+    bit-identical to a session that was never evicted (asserted by
+    ``tests/core/test_sessions.py``).
+    """
+
+    key: object
+    calls_seen: int
+    flagged: bool
+    windows_classified: int
+    slots: tuple
+
+
+class _WindowSlot:
+    """One partial window: its start index, fill count, and LSTM state."""
+
+    __slots__ = ("start", "filled", "hidden", "cell")
+
+    def __init__(self, start: int, hidden: np.ndarray, cell: np.ndarray,
+                 filled: int = 0):
+        self.start = start
+        self.filled = filled
+        self.hidden = hidden
+        self.cell = cell
+
+
+class StreamSession:
+    """Incremental per-stream detection state.
+
+    Holds a rotating ring of :class:`_WindowSlot` partial windows.  A new
+    slot opens whenever ``calls_seen % stride == 0`` (the same window
+    positions the recompute detector classifies); every arriving token
+    advances all open slots by one LSTM step; a slot whose fill count
+    reaches the window length is classified and closed.  At most
+    ``ceil(window_length / stride)`` slots are ever open, which bounds
+    the session's state to a fixed number of ``(h, C)`` vector pairs.
+
+    Sessions are driven by a :class:`SessionManager`; they are not
+    stepped directly.
+    """
+
+    __slots__ = ("key", "calls_seen", "flagged", "windows_classified",
+                 "slots", "last_used_tick", "_hidden_size", "_dtype")
+
+    def __init__(self, key, hidden_size: int, dtype):
+        self.key = key
+        self.calls_seen = 0
+        self.flagged = False
+        self.windows_classified = 0
+        self.slots: list = []
+        self.last_used_tick = 0
+        self._hidden_size = hidden_size
+        self._dtype = dtype
+
+    def open_slot(self) -> _WindowSlot:
+        """Open a zero-state partial window starting at ``calls_seen``."""
+        slot = _WindowSlot(
+            start=self.calls_seen,
+            hidden=np.zeros(self._hidden_size, dtype=self._dtype),
+            cell=np.zeros(self._hidden_size, dtype=self._dtype),
+        )
+        self.slots.append(slot)
+        return slot
+
+    def close_slot(self, slot: _WindowSlot) -> None:
+        self.slots.remove(slot)
+
+    def checkpoint(self) -> SessionCheckpoint:
+        """Snapshot the full session state into an alias-free checkpoint."""
+        return SessionCheckpoint(
+            key=self.key,
+            calls_seen=self.calls_seen,
+            flagged=self.flagged,
+            windows_classified=self.windows_classified,
+            slots=tuple(
+                (slot.start, slot.filled, slot.hidden.copy(), slot.cell.copy())
+                for slot in self.slots
+            ),
+        )
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: SessionCheckpoint,
+                        hidden_size: int, dtype) -> "StreamSession":
+        session = cls(checkpoint.key, hidden_size, dtype)
+        session.calls_seen = checkpoint.calls_seen
+        session.flagged = checkpoint.flagged
+        session.windows_classified = checkpoint.windows_classified
+        session.slots = [
+            _WindowSlot(start=start, filled=filled,
+                        hidden=np.array(hidden, dtype=dtype),
+                        cell=np.array(cell, dtype=dtype))
+            for start, filled, hidden, cell in checkpoint.slots
+        ]
+        return session
+
+
+class SessionManager:
+    """Batched stepping, memory budgeting, and lifecycle for many sessions.
+
+    Parameters
+    ----------
+    engine:
+        A loaded :class:`~repro.core.engine.CSDInferenceEngine`; the
+        manager reuses its preprocess/gates/hidden-state kernels (and
+        its live ``telemetry`` reference) for every step.
+    config:
+        Session policy; see :class:`SessionConfig`.
+
+    The manager keeps two tiers of state:
+
+    * **resident** sessions — hot ``(h, C)`` ring state, stepped in
+      batch, bounded by the memory budget;
+    * the **checkpoint store** — compact evicted state, the "storage
+      tier" a real CSD would spill to; restoring from it is transparent
+      and bit-exact.
+
+    Stepping never touches the engine's sequence/AXI counters: the
+    incremental path is a different execution model from the per-window
+    recompute, and it reports its own ``repro_session_*`` metrics
+    (see ``docs/observability.md``).
+    """
+
+    def __init__(self, engine, config: SessionConfig | None = None):
+        self.engine = engine
+        self.config = config or SessionConfig()
+        engine._require_loaded()
+        dims = engine.config.dimensions
+        self.window_length = dims.sequence_length
+        self.ring_capacity = math.ceil(self.window_length / self.config.stride)
+        self._hidden_size = dims.hidden_size
+        self._dtype = (
+            np.int64 if engine.config.optimization.uses_fixed_point
+            else np.float64
+        )
+        bytes_per_value = 8
+        self.session_bytes = (
+            SESSION_OVERHEAD_BYTES
+            + self.ring_capacity * 2 * self._hidden_size * bytes_per_value
+        )
+        self._max_resident = self._effective_cap()
+        self._sequence_microseconds = engine.sequence_microseconds()
+
+        self._resident: collections.OrderedDict = collections.OrderedDict()
+        self._checkpoints: dict = {}
+        self._tick = 0
+        # Plain-int counters, always live (telemetry only mirrors them).
+        self._evictions: dict = {}
+        self._restores = 0
+        self._tokens = 0
+        self._tokens_dropped = 0
+        self._slot_steps = 0
+        self._steps = 0
+        self._verdicts = {"ransomware": 0, "benign": 0}
+        self._early_exits = 0
+
+    def _effective_cap(self) -> int | None:
+        cap = self.config.max_resident_sessions
+        budget = self.config.memory_budget_bytes
+        if budget is not None:
+            by_budget = budget // self.session_bytes
+            if by_budget < 1:
+                raise ValueError(
+                    f"memory_budget_bytes={budget} cannot hold even one "
+                    f"session ({self.session_bytes} bytes each)"
+                )
+            cap = by_budget if cap is None else min(cap, by_budget)
+        return cap
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    @property
+    def checkpointed_count(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._resident) * self.session_bytes
+
+    def known_keys(self) -> tuple:
+        """Every session key currently held, resident or checkpointed."""
+        keys = list(self._resident)
+        keys.extend(k for k in self._checkpoints if k not in self._resident)
+        return tuple(keys)
+
+    def stats(self) -> dict:
+        """Plain-data operational counters (mirrors the telemetry)."""
+        return {
+            "resident_sessions": self.resident_count,
+            "checkpointed_sessions": self.checkpointed_count,
+            "resident_bytes": self.resident_bytes,
+            "tokens": self._tokens,
+            "tokens_dropped": self._tokens_dropped,
+            "steps": self._steps,
+            "slot_steps": self._slot_steps,
+            "verdicts": dict(self._verdicts),
+            "evictions": dict(self._evictions),
+            "restores": self._restores,
+            "early_exits": self._early_exits,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _activate(self, key) -> StreamSession:
+        """Resident lookup with LRU touch; restores or creates as needed."""
+        session = self._resident.get(key)
+        if session is not None:
+            self._resident.move_to_end(key)
+        else:
+            checkpoint = self._checkpoints.pop(key, None)
+            if checkpoint is not None:
+                session = StreamSession.from_checkpoint(
+                    checkpoint, self._hidden_size, self._dtype
+                )
+                self._restores += 1
+                self._count("repro_session_restores_total")
+            else:
+                session = StreamSession(key, self._hidden_size, self._dtype)
+            self._resident[key] = session
+        session.last_used_tick = self._tick
+        return session
+
+    def _evict_session(self, key, reason: str, checkpoint: bool = True) -> None:
+        session = self._resident.pop(key)
+        if checkpoint:
+            self._checkpoints[key] = session.checkpoint()
+        self._evictions[reason] = self._evictions.get(reason, 0) + 1
+        self._count("repro_session_evictions_total", reason=reason)
+
+    def _enforce_budget(self) -> None:
+        cap = self._max_resident
+        if cap is not None:
+            while len(self._resident) > cap:
+                oldest = next(iter(self._resident))
+                self._evict_session(oldest, EVICT_LRU)
+        idle_after = self.config.idle_after_steps
+        if idle_after is not None:
+            horizon = self._tick - idle_after
+            while self._resident:
+                oldest = next(iter(self._resident))
+                if self._resident[oldest].last_used_tick > horizon:
+                    break
+                self._evict_session(oldest, EVICT_IDLE)
+
+    def evict(self, key, reason: str = EVICT_LRU) -> None:
+        """Checkpoint and evict one resident session explicitly."""
+        if key not in self._resident:
+            raise KeyError(f"session {key!r} is not resident")
+        self._evict_session(key, reason)
+
+    def close(self, key) -> None:
+        """Drop a session entirely (process exited); counted as eviction.
+
+        Unlike :meth:`evict`, no checkpoint survives — a later token for
+        the same key starts a fresh stream.
+        """
+        if key in self._resident:
+            self._evict_session(key, EVICT_CLOSED, checkpoint=False)
+        elif key in self._checkpoints:
+            del self._checkpoints[key]
+            self._evictions[EVICT_CLOSED] = self._evictions.get(EVICT_CLOSED, 0) + 1
+            self._count("repro_session_evictions_total", reason=EVICT_CLOSED)
+        else:
+            raise KeyError(f"unknown session {key!r}")
+
+    def export_checkpoint(self, key) -> SessionCheckpoint:
+        """Snapshot one session (resident or evicted) for migration.
+
+        The session's local state is untouched; use :meth:`close` on the
+        source and :meth:`import_checkpoint` on the target to complete a
+        hand-off (the fleet failover path does exactly this).
+        """
+        if key in self._resident:
+            return self._resident[key].checkpoint()
+        if key in self._checkpoints:
+            return self._checkpoints[key]
+        raise KeyError(f"unknown session {key!r}")
+
+    def import_checkpoint(self, checkpoint: SessionCheckpoint) -> None:
+        """Adopt a migrated session; it restores on its next token."""
+        if checkpoint.key in self._resident:
+            raise ValueError(f"session {checkpoint.key!r} is already resident")
+        self._checkpoints[checkpoint.key] = checkpoint
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def observe(self, key, token) -> SessionVerdict | None:
+        """Feed one token of one stream; the single-stream convenience.
+
+        Returns the window verdict this token completed, if any (a token
+        completes at most one window: open slots always hold distinct
+        fill counts).
+        """
+        verdicts = self.step({key: token})
+        return verdicts[0] if verdicts else None
+
+    def step(self, tokens) -> list:
+        """Advance many sessions by one token each, batched.
+
+        Parameters
+        ----------
+        tokens:
+            Mapping of session key → token id (one token per session per
+            tick; call again for further tokens).  Iteration order fixes
+            the row order, so runs are deterministic for a deterministic
+            mapping order.
+
+        Returns
+        -------
+        list
+            :class:`SessionVerdict` for every window completed this tick,
+            in row order.
+        """
+        self._tick += 1
+        stride = self.config.stride
+        stepped: list = []
+        for key, token in tokens.items():
+            session = self._activate(key)
+            self._tokens += 1
+            if session.flagged and self.config.early_exit:
+                self._tokens_dropped += 1
+                continue
+            stepped.append((session, int(token)))
+
+        row_sessions: list = []
+        row_slots: list = []
+        h_rows: list = []
+        c_rows: list = []
+        x_tokens: list = []
+        for session, token in stepped:
+            if session.calls_seen % stride == 0:
+                session.open_slot()
+            for slot in session.slots:
+                row_sessions.append(session)
+                row_slots.append(slot)
+                h_rows.append(slot.hidden)
+                c_rows.append(slot.cell)
+                x_tokens.append(token)
+            session.calls_seen += 1
+
+        verdicts: list = []
+        if row_slots:
+            engine = self.engine
+            embedded = engine.preprocess.run_batch(
+                np.asarray(x_tokens, dtype=np.int64)
+            )
+            gate_outputs = engine.gates.run_batch(np.stack(h_rows), embedded)
+            hidden, cell = engine.hidden_state.step_batch(
+                gate_outputs, np.stack(c_rows)
+            )
+            completed: list = []
+            for index, slot in enumerate(row_slots):
+                slot.hidden[:] = hidden[index]
+                slot.cell[:] = cell[index]
+                slot.filled += 1
+                if slot.filled == self.window_length:
+                    completed.append(index)
+            if completed:
+                probabilities = engine.hidden_state.classify_batch(
+                    hidden[np.asarray(completed, dtype=np.intp)]
+                )
+                for probability, index in zip(probabilities, completed):
+                    verdicts.append(
+                        self._complete_window(
+                            row_sessions[index], row_slots[index],
+                            float(probability),
+                        )
+                    )
+            self._slot_steps += len(row_slots)
+
+        self._steps += 1
+        self._enforce_budget()
+        self._emit_step_telemetry(len(stepped), len(row_slots), len(verdicts))
+        return verdicts
+
+    def _complete_window(self, session: StreamSession, slot: _WindowSlot,
+                         probability: float) -> SessionVerdict:
+        verdict = SessionVerdict(
+            session=session.key,
+            window_index=slot.start,
+            probability=probability,
+            is_ransomware=probability >= self.config.threshold,
+            inference_microseconds=self._sequence_microseconds,
+        )
+        session.close_slot(slot)
+        session.windows_classified += 1
+        label = "ransomware" if verdict.is_ransomware else "benign"
+        self._verdicts[label] += 1
+        self._count("repro_session_verdicts_total", verdict=label)
+        if verdict.is_ransomware and not session.flagged:
+            session.flagged = True
+            if self.config.early_exit:
+                self._early_exits += 1
+                self._count("repro_session_early_exits_total")
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Telemetry (observation only; plain counters above are the source)
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        telemetry = self.engine.telemetry
+        if telemetry is not None:
+            telemetry.counter(name, **labels).inc()
+
+    def _emit_step_telemetry(self, sessions: int, rows: int,
+                             verdicts: int) -> None:
+        telemetry = self.engine.telemetry
+        if telemetry is None:
+            return
+        telemetry.counter("repro_session_steps_total").inc()
+        telemetry.counter("repro_session_tokens_total").inc(sessions)
+        telemetry.counter("repro_session_slot_steps_total").inc(rows)
+        telemetry.gauge("repro_session_resident").set(self.resident_count)
+        telemetry.gauge("repro_session_state_bytes").set(self.resident_bytes)
+        telemetry.tracer.record(
+            "session.step", self._tick - 1, self._tick,
+            attributes={
+                "sessions": sessions, "rows": rows, "verdicts": verdicts,
+                "unit": "step",
+            },
+        )

@@ -63,6 +63,7 @@ from repro.ransomware.analysis import (
     per_family_detection,
     source_summary,
 )
+from repro.ransomware.monitor import ProcessMonitor
 from repro.ransomware.replay import HostReplay, PerProcessDetectorBank, ProcessOutcome
 from repro.ransomware.sandbox import ApiTrace, CuckooSandbox, OS_VERSIONS
 
@@ -94,6 +95,7 @@ __all__ = [
     "PAPER_SEQUENCE_LENGTH",
     "PAPER_TOTAL_SEQUENCES",
     "Phase",
+    "ProcessMonitor",
     "ProtectedStorage",
     "QuarantineEvent",
     "RansomwareDetector",

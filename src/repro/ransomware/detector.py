@@ -86,6 +86,7 @@ class RansomwareDetector:
         self.threshold = threshold
         self.stride = stride
         self._window_length = engine.config.dimensions.sequence_length
+        self._sequence_microseconds = engine.sequence_microseconds()
         self._buffer: collections.deque = collections.deque(maxlen=self._window_length)
         self._calls_seen = 0
         self._windows_classified = 0
@@ -115,8 +116,7 @@ class RansomwareDetector:
             window_index=window_index,
             probability=result.probability,
             is_ransomware=result.probability >= self.threshold,
-            inference_microseconds=result.timing.per_item_microseconds
-            * self._window_length,
+            inference_microseconds=self._sequence_microseconds,
         )
         telemetry = self.engine.telemetry
         if telemetry is not None:

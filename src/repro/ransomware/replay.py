@@ -19,8 +19,9 @@ import dataclasses
 
 import numpy as np
 
-from repro.ransomware.detector import RansomwareDetector, Verdict
+from repro.ransomware.detector import Verdict
 from repro.ransomware.mitigation import MitigationEngine, ProtectedStorage, WriteBlocked
+from repro.ransomware.monitor import ProcessMonitor
 from repro.ransomware.sandbox import ApiTrace
 
 
@@ -48,26 +49,42 @@ class ProcessOutcome:
 
 
 class PerProcessDetectorBank:
-    """One sliding window per monitored process, sharing one engine."""
+    """One sliding window per monitored process, sharing one engine.
 
-    def __init__(self, engine, threshold: float = 0.5, stride: int = 10):
-        self._engine = engine
-        self._threshold = threshold
-        self._stride = stride
-        self._detectors: dict = {}
+    Backed by the streaming session subsystem
+    (:class:`~repro.ransomware.monitor.ProcessMonitor` over a
+    :class:`~repro.core.sessions.SessionManager`): each process carries
+    incremental LSTM state instead of re-running ``infer_sequence`` per
+    window, and — unlike the original one-detector-per-pid dict that
+    grew without bound — idle or excess processes are *evicted* under
+    ``memory_budget_bytes``/``idle_after_steps`` (checkpointed, counted
+    by ``repro_session_evictions_total``) and exited ones can be
+    :meth:`close`\\ d.  Verdicts are bit-exact with the recompute path.
+    """
+
+    def __init__(self, engine, threshold: float = 0.5, stride: int = 10,
+                 memory_budget_bytes: int | None = None,
+                 idle_after_steps: int | None = None):
+        self._monitor = ProcessMonitor(
+            engine, threshold=threshold, stride=stride,
+            memory_budget_bytes=memory_budget_bytes,
+            idle_after_steps=idle_after_steps,
+        )
 
     def observe(self, process_id: int, call: str) -> Verdict | None:
-        detector = self._detectors.get(process_id)
-        if detector is None:
-            detector = RansomwareDetector(
-                self._engine, threshold=self._threshold, stride=self._stride
-            )
-            self._detectors[process_id] = detector
-        return detector.observe(call)
+        return self._monitor.observe(process_id, call)
+
+    def close(self, process_id: int) -> None:
+        """Drop an exited process's stream state."""
+        self._monitor.close(process_id)
+
+    def stats(self) -> dict:
+        """Session-layer counters (evictions, restores, residency)."""
+        return self._monitor.stats()
 
     @property
     def monitored_processes(self) -> tuple:
-        return tuple(self._detectors)
+        return self._monitor.monitored_processes
 
 
 class HostReplay:
@@ -85,8 +102,14 @@ class HostReplay:
 
     def __init__(self, engine, storage: ProtectedStorage,
                  threshold: float = 0.5, stride: int = 10,
-                 confirmations: int = 3):
-        self.bank = PerProcessDetectorBank(engine, threshold, stride)
+                 confirmations: int = 3,
+                 memory_budget_bytes: int | None = None,
+                 idle_after_steps: int | None = None):
+        self.bank = PerProcessDetectorBank(
+            engine, threshold, stride,
+            memory_budget_bytes=memory_budget_bytes,
+            idle_after_steps=idle_after_steps,
+        )
         self.storage = storage
         self.mitigation = MitigationEngine(storage, confirmations=confirmations)
 

@@ -40,7 +40,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in (
-            "dataset", "train", "evaluate", "scan", "report", "fleet-serve",
+            "dataset", "train", "evaluate", "scan", "report", "monitor",
+            "fleet-serve",
         ):
             assert command in text
 
@@ -92,6 +93,36 @@ class TestScanCommand:
         assert "Lockbit variant 1" in output
         assert exit_code == 0
         assert "DETECTED" in output
+
+
+class TestMonitorCommand:
+    def test_monitor_flags_ransomware_process(self, weights_path, capsys):
+        from tests.conftest import TEST_SEQUENCE_LENGTH
+
+        exit_code = main([
+            "monitor", str(weights_path), "--ransomware", "1", "--benign", "2",
+            "--sequence-length", str(TEST_SEQUENCE_LENGTH),
+            "--threshold", "0.7", "--stride", "10", "--seed", "0",
+        ])
+        output = capsys.readouterr().out
+        assert "monitored 3 processes" in output
+        assert "FLAGGED" in output
+        assert "sessions:" in output
+        assert exit_code == 0
+
+    def test_monitor_budget_reports_evictions(self, weights_path, capsys):
+        from tests.conftest import TEST_SEQUENCE_LENGTH
+
+        exit_code = main([
+            "monitor", str(weights_path), "--ransomware", "1", "--benign", "3",
+            "--sequence-length", str(TEST_SEQUENCE_LENGTH),
+            "--threshold", "0.7", "--stride", "10", "--seed", "1",
+            "--memory-budget-kib", "7", "--early-exit",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "evictions:" in output
+        assert "restores" in output
 
 
 class TestFleetServeCommand:
