@@ -32,6 +32,7 @@ import sys
 
 from repro.core.config import EngineConfig, OptimizationLevel
 from repro.core.engine import CSDInferenceEngine
+from repro.core.kernels.backends import available_backends
 from repro.hw.emulation import render_engine_report
 from repro.nn.model import SequenceClassifier
 from repro.nn.serialization import dump_weights
@@ -116,7 +117,8 @@ def _run_evaluate(args) -> int:
     engine = CSDInferenceEngine.from_weight_file(
         args.weights, sequence_length=dataset.sequence_length
     )
-    engine = _engine_at(engine, OptimizationLevel[args.optimization])
+    engine = _engine_at(engine, OptimizationLevel[args.optimization],
+                        backend=getattr(args, "backend", None))
     _maybe_attach_telemetry(engine, args)
     subset = dataset.subset(np.arange(min(args.limit, len(dataset))))
     metrics = classification_report(
@@ -131,10 +133,14 @@ def _run_evaluate(args) -> int:
     return 0
 
 
-def _engine_at(engine: CSDInferenceEngine, level: OptimizationLevel) -> CSDInferenceEngine:
-    if engine.config.optimization is level:
+def _engine_at(engine: CSDInferenceEngine, level: OptimizationLevel,
+               backend: str | None = None) -> CSDInferenceEngine:
+    backend = backend or engine.config.backend
+    if engine.config.optimization is level and engine.config.backend == backend:
         return engine
-    config = dataclasses.replace(engine.config, optimization=level)
+    config = dataclasses.replace(
+        engine.config, optimization=level, backend=backend
+    )
     return CSDInferenceEngine(config, engine.weights)
 
 
@@ -161,6 +167,8 @@ def _run_scan(args) -> int:
     engine = CSDInferenceEngine.from_weight_file(
         args.weights, sequence_length=args.sequence_length
     )
+    engine = _engine_at(engine, engine.config.optimization,
+                        backend=getattr(args, "backend", None))
     _maybe_attach_telemetry(engine, args)
     detector = RansomwareDetector(engine, threshold=args.threshold, stride=args.stride)
     family = next(f for f in ALL_FAMILIES if f.name == args.family)
@@ -189,6 +197,7 @@ def _run_report(args) -> int:
     config = EngineConfig(
         optimization=OptimizationLevel[args.optimization],
         num_gate_cus=args.gate_cus,
+        backend=getattr(args, "backend", None) or "reference",
     )
     engine = CSDInferenceEngine.build_unloaded(config)
     _maybe_attach_telemetry(engine, args)
@@ -232,7 +241,8 @@ def _run_monitor(args) -> int:
     engine = CSDInferenceEngine.from_weight_file(
         args.weights, sequence_length=args.sequence_length
     )
-    engine = _engine_at(engine, OptimizationLevel[args.optimization])
+    engine = _engine_at(engine, OptimizationLevel[args.optimization],
+                        backend=getattr(args, "backend", None))
     _maybe_attach_telemetry(engine, args)
     sandbox = CuckooSandbox(seed=args.seed)
     traces = [
@@ -361,7 +371,8 @@ def _run_fleet_serve(args) -> int:
     weights = HostWeights.from_file(args.weights)
     dims = _dc.replace(weights.dimensions, sequence_length=args.sequence_length)
     config = EngineConfig(
-        dimensions=dims, optimization=OptimizationLevel[args.optimization]
+        dimensions=dims, optimization=OptimizationLevel[args.optimization],
+        backend=getattr(args, "backend", None) or "reference",
     )
     engines = build_fleet(weights, args.devices, config=config)
     streams = [
@@ -432,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard inference across N forked worker processes sharing "
              "the weights through shared memory (bit-exact with N=1; "
              "see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="kernel backend for the inference/session hot path "
+             "(default: the engine's configured backend, normally "
+             "'reference'; 'fused' is bit-exact and faster — see "
+             "docs/performance.md)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_dataset_command(subparsers)

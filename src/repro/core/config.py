@@ -110,6 +110,14 @@ class EngineConfig:
         Kernel clock; 300 MHz matches the paper's numbers.
     qformat:
         Fixed-point format used when ``optimization`` is ``FIXED_POINT``.
+    backend:
+        Kernel backend for the inference/session hot path (see
+        :mod:`repro.core.kernels.backends`).  ``"reference"`` (the
+        default) runs the per-kernel NumPy pipeline exactly as shipped;
+        ``"fused"`` collapses each tick into one precompiled step over
+        persistent state, bit-exact with ``reference`` at every
+        optimisation level.  Validated lazily at first use (the registry
+        lives above this module in the import graph), never here.
     """
 
     dimensions: ModelDimensions = dataclasses.field(default_factory=ModelDimensions)
@@ -120,6 +128,7 @@ class EngineConfig:
     fpga_part: FpgaPart = ALVEO_U200
     kernel_clock_hz: float = DEFAULT_KERNEL_CLOCK_HZ
     qformat: QFormat = PAPER_QFORMAT
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.num_gate_cus not in (1, 2, 4):

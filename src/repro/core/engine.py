@@ -28,6 +28,11 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.kernels.backends import (
+    FALLBACK_OVERFLOW_GUARD,
+    FusedOverflow,
+    resolve_backend,
+)
 from repro.core.kernels.gates import GatesKernel
 from repro.core.kernels.hidden_state import HiddenStateKernel
 from repro.core.kernels.preprocess import PreprocessKernel
@@ -124,6 +129,7 @@ class CSDInferenceEngine:
         self.storage: SmartSSD | None = None
         self.sequences_processed = 0
         self._pool = None  # cached WorkerPool (see worker_pool)
+        self._step_backend = None  # cached kernel backend (see step_backend)
         self.telemetry = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
@@ -235,6 +241,7 @@ class CSDInferenceEngine:
     def load_weights(self, weights: HostWeights) -> None:
         """Host step: ingest parameters, quantise if needed, init kernels."""
         self.weights = weights
+        self._step_backend = None  # weights changed: backend math is stale
         if self.config.optimization.uses_fixed_point:
             self.quantized = weights.quantized(self.config.qformat)
         bank = self.device.ddr.banks[0]
@@ -273,6 +280,21 @@ class CSDInferenceEngine:
                 "engine has no weights loaded; build with from_model/"
                 "from_weight_file or call load_weights"
             )
+
+    @property
+    def step_backend(self):
+        """The engine's kernel backend, resolved lazily and cached.
+
+        Selected by ``config.backend`` from the registry in
+        :mod:`repro.core.kernels.backends`.  Resolution may itself
+        degrade (missing numba, unsafe bounds); the returned backend's
+        ``fallback_reasons`` records why.  Rebuilt after
+        :meth:`load_weights` since the fused math bakes the weights in.
+        """
+        if self._step_backend is None:
+            self._require_loaded()
+            self._step_backend = resolve_backend(self.config.backend, self)
+        return self._step_backend
 
     def _initial_hidden(self, batch_size: int | None = None) -> np.ndarray:
         hidden = self.config.dimensions.hidden_size
@@ -336,14 +358,22 @@ class CSDInferenceEngine:
             raise ValueError("batch must contain at least one sequence")
 
         embedded = self.preprocess.run_batch(batch)  # (N, T, E)
-        self.hidden_state.reset(batch_size=batch.shape[0])
-        hidden_prev = self._initial_hidden(batch_size=batch.shape[0])
         predictions = None
-        for step in range(expected):
-            gate_outputs = self.gates.run_batch(hidden_prev, embedded[:, step, :])
-            hidden_prev, predictions = self.hidden_state.run_batch(gate_outputs)
+        backend = self.step_backend
+        if backend.accelerates_inference():
+            try:
+                predictions = backend.infer_probabilities(embedded)
+            except FusedOverflow:
+                backend.record_fallback(FALLBACK_OVERFLOW_GUARD)
+                predictions = None
         if predictions is None:
-            raise AssertionError("batch completed without classifications")
+            self.hidden_state.reset(batch_size=batch.shape[0])
+            hidden_prev = self._initial_hidden(batch_size=batch.shape[0])
+            for step in range(expected):
+                gate_outputs = self.gates.run_batch(hidden_prev, embedded[:, step, :])
+                hidden_prev, predictions = self.hidden_state.run_batch(gate_outputs)
+            if predictions is None:
+                raise AssertionError("batch completed without classifications")
 
         timing = build_inference_timing(
             self.config,

@@ -59,6 +59,21 @@ RETRY_TIMEOUT = "timeout"
 RETRY_FAILOVER = "failover"
 
 
+def nearest_rank_percentile(values: np.ndarray, percentile: float) -> float:
+    """Nearest-rank percentile of a 1-D sample; NaN for an empty one.
+
+    The single definition both serving reports use (it was once duplicated
+    in each, and the copies could drift).  ``values`` need not be sorted.
+    """
+    if not 0 < percentile <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    ordered = np.sort(np.asarray(values))
+    if ordered.size == 0:
+        return float("nan")
+    rank = max(1, math.ceil(percentile / 100.0 * ordered.size))
+    return float(ordered[rank - 1])
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingConfig:
     """Policy knobs of the fleet server.
@@ -167,13 +182,7 @@ class ServingReport:
 
     def latency_percentile_us(self, percentile: float) -> float:
         """Nearest-rank percentile of completed end-to-end latency."""
-        if not 0 < percentile <= 100:
-            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-        latencies = self.latencies_us()
-        if latencies.size == 0:
-            return float("nan")
-        rank = max(1, math.ceil(percentile / 100.0 * latencies.size))
-        return float(latencies[rank - 1])
+        return nearest_rank_percentile(self.latencies_us(), percentile)
 
     def device_utilization(self) -> tuple:
         """Per-device busy fraction over the whole run."""
@@ -265,13 +274,9 @@ class SessionServingReport:
 
     def token_latency_percentile_us(self, percentile: float) -> float:
         """Nearest-rank percentile of per-token serving latency."""
-        if not 0 < percentile <= 100:
-            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-        latencies = np.sort(np.array(self.token_latencies, dtype=np.int64))
-        if latencies.size == 0:
-            return float("nan")
-        rank = max(1, math.ceil(percentile / 100.0 * latencies.size))
-        return float(latencies[rank - 1])
+        return nearest_rank_percentile(
+            np.array(self.token_latencies, dtype=np.int64), percentile
+        )
 
     def device_utilization(self) -> tuple:
         horizon = max(self.duration_us, 1)
@@ -893,7 +898,8 @@ class FleetServer:
             self._buffer_token(target, arrival)
 
     def serve_tokens(self, arrivals,
-                     sessions: SessionConfig | None = None) -> SessionServingReport:
+                     sessions: SessionConfig | None = None,
+                     backend: str | None = None) -> SessionServingReport:
         """Run the session-mode simulation over a token-arrival schedule.
 
         Each device runs a :class:`~repro.core.sessions.SessionManager`
@@ -903,11 +909,18 @@ class FleetServer:
         migrate session checkpoints to the re-routed devices, so
         monitoring continues without losing window state.  Deterministic
         like :meth:`serve`: one seed → identical event logs and verdicts.
+
+        ``backend`` overrides the per-device kernel backend (see
+        :mod:`repro.core.kernels.backends`); ``None`` uses each engine's
+        configured backend.  Checkpoint migration between devices is
+        backend-neutral, so mixed fleets stay bit-exact.
         """
         session_config = sessions or SessionConfig()
         self._token_mode = True
         for device in self.devices:
-            device.sessions = SessionManager(device.engine, session_config)
+            device.sessions = SessionManager(
+                device.engine, session_config, backend=backend
+            )
         arrivals = sorted(arrivals, key=lambda a: (a.arrival_us, a.stream))
         for device in self.devices:
             fail = device.fault_plan.device_fail

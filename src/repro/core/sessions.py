@@ -12,22 +12,25 @@ online-serving answer:
   stride window — so each arriving token advances every open window by a
   single step and the per-token cost is smooth instead of bursty.
 * :class:`SessionManager` steps *many* sessions per tick through one
-  stacked batched gate matmul (the same kernels ``infer_batch`` uses), so
-  kernel-invocation overhead amortises across all streams and all ring
-  slots; it enforces a memory budget via LRU/idle eviction with
-  checkpoint/restore of evicted session state, and emits a verdict the
-  moment a window completes (optionally early-exiting flagged streams).
+  stacked batched gate matmul, so kernel-invocation overhead amortises
+  across all streams and all ring slots; it enforces a memory budget via
+  LRU/idle eviction with checkpoint/restore of evicted session state
+  (checkpoint bytes are budgeted too, see ``checkpoint_budget_bytes``),
+  and emits a verdict the moment a window completes (optionally
+  early-exiting flagged streams).
 
-The per-token stepping path is **bit-exact** with ``infer_sequence`` on
-the same window at every :class:`~repro.core.config.OptimizationLevel`:
-the gate step routes through :meth:`~repro.core.kernels.gates.GatesKernel.run_batch`
-(batch-stable float reductions, exact int64 fixed-point accumulation),
-the cell/hidden update through the stateless
-:meth:`~repro.core.kernels.hidden_state.HiddenStateKernel.step_batch`,
-and the FC head through ``classify_batch`` — all row-independent, so a
+How each tick executes is delegated to the engine's **kernel backend**
+(:mod:`repro.core.kernels.backends`): the ``reference`` backend invokes
+the NumPy kernels exactly as this module always has, while the ``fused``
+backend keeps all slot state in a persistent preallocated arena, caches
+the row roster between structural changes (window opens/closes,
+evictions), and — at ``FIXED_POINT`` — runs the whole step as one fused
+pass.  Every backend is **bit-exact** with ``infer_sequence`` on the
+same window at every :class:`~repro.core.config.OptimizationLevel`: a
 window stepped token by token inside an arbitrary batch of other
 sessions produces the identical probability to a fresh full-window
-recompute.  See ``docs/streaming.md`` for the lifecycle and semantics.
+recompute.  See ``docs/streaming.md`` for the lifecycle and semantics
+and ``docs/performance.md`` for the backend registry.
 """
 
 from __future__ import annotations
@@ -37,6 +40,13 @@ import dataclasses
 import math
 
 import numpy as np
+
+from repro.core.kernels.backends import (
+    FALLBACK_OVERFLOW_GUARD,
+    FusedOverflow,
+    METRIC_TICKS,
+    resolve_backend,
+)
 
 #: Fixed per-session bookkeeping estimate (Python objects, dict slots)
 #: on top of the ring's state arrays; used by the memory budget.
@@ -48,6 +58,7 @@ EVICT_LRU = "lru"
 EVICT_IDLE = "idle"
 EVICT_CLOSED = "closed"
 EVICT_MIGRATED = "migrated"
+EVICT_CHECKPOINT_BUDGET = "checkpoint_budget"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +85,14 @@ class SessionConfig:
         receiving a token (``None`` = never).  Evicted state is
         checkpointed, not lost — an idle process that wakes up restores
         transparently.
+    checkpoint_budget_bytes:
+        Bound on the checkpoint store's bytes (``None`` = unbounded).
+        When exceeded, the **oldest** checkpoints are dropped outright
+        (counted as ``checkpoint_budget`` evictions) until the store
+        fits — a stream whose checkpoint was dropped restarts fresh on
+        its next token.  Without this bound the store of evicted/idle
+        sessions grows without limit, silently defeating the memory
+        budget it backs.
     early_exit:
         Once a session raises a ransomware verdict, stop stepping it:
         subsequent tokens are dropped without inference until the
@@ -86,6 +105,7 @@ class SessionConfig:
     memory_budget_bytes: int | None = None
     max_resident_sessions: int | None = None
     idle_after_steps: int | None = None
+    checkpoint_budget_bytes: int | None = None
     early_exit: bool = False
 
     def __post_init__(self) -> None:
@@ -99,6 +119,8 @@ class SessionConfig:
             raise ValueError("max_resident_sessions must be >= 1")
         if self.idle_after_steps is not None and self.idle_after_steps < 1:
             raise ValueError("idle_after_steps must be >= 1")
+        if self.checkpoint_budget_bytes is not None and self.checkpoint_budget_bytes < 1:
+            raise ValueError("checkpoint_budget_bytes must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,7 +142,10 @@ class SessionCheckpoint:
     of the ring arrays, so a checkpoint can never alias live state.
     Restoring a checkpoint and continuing the stream produces verdicts
     bit-identical to a session that was never evicted (asserted by
-    ``tests/core/test_sessions.py``).
+    ``tests/core/test_sessions.py``).  Checkpoints are backend-neutral:
+    state is stored in the engine's external dtype (int64 fixed-point,
+    float64 otherwise), so a checkpoint exported from a ``fused``
+    manager restores into a ``reference`` one and vice versa.
     """
 
     key: object
@@ -129,18 +154,132 @@ class SessionCheckpoint:
     windows_classified: int
     slots: tuple
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained size (state arrays + bookkeeping)."""
+        state = sum(
+            np.asarray(hidden).nbytes + np.asarray(cell).nbytes
+            for _, _, hidden, cell in self.slots
+        )
+        return SESSION_OVERHEAD_BYTES + state
+
 
 class _WindowSlot:
-    """One partial window: its start index, fill count, and LSTM state."""
+    """One partial window: its start index, fill count, and LSTM state.
 
-    __slots__ = ("start", "filled", "hidden", "cell")
+    ``hidden``/``cell`` are either owned arrays (plain store) or views
+    into the backend's slot arena (``col`` is then the arena row).
+    """
+
+    __slots__ = ("start", "filled", "hidden", "cell", "col")
 
     def __init__(self, start: int, hidden: np.ndarray, cell: np.ndarray,
-                 filled: int = 0):
+                 filled: int = 0, col: int | None = None):
         self.start = start
         self.filled = filled
         self.hidden = hidden
         self.cell = cell
+        self.col = col
+
+
+class _PlainSlotStore:
+    """Per-slot owned arrays in the engine's external dtype (reference)."""
+
+    def __init__(self, hidden_size: int, dtype):
+        self.hidden_size = hidden_size
+        self.dtype = dtype
+
+    def new_slot(self, start: int) -> _WindowSlot:
+        return _WindowSlot(
+            start,
+            np.zeros(self.hidden_size, dtype=self.dtype),
+            np.zeros(self.hidden_size, dtype=self.dtype),
+        )
+
+    def adopt_slots(self, entries) -> list:
+        return [
+            _WindowSlot(start, np.array(hidden, dtype=self.dtype),
+                        np.array(cell, dtype=self.dtype), filled=filled)
+            for start, filled, hidden, cell in entries
+        ]
+
+    def release_slot(self, slot: _WindowSlot) -> None:
+        pass
+
+
+class _ArenaSlotStore:
+    """Slot state packed into persistent ``(capacity, H)`` float64 arrays.
+
+    Slots hold *views* into arena rows, so checkpoint/export code reads
+    them exactly like owned arrays; the fused stepper gathers/scatters
+    whole row batches by arena index instead of stacking Python lists.
+    When ``hidden_limit`` is set (fixed-point), values outside the
+    float64 exactness envelope are refused at write time with
+    :class:`~repro.core.kernels.backends.FusedOverflow` so the manager
+    can degrade instead of silently losing precision.
+    """
+
+    def __init__(self, hidden_size: int, dtype, hidden_limit: float | None,
+                 cell_limit: float | None, capacity: int = 64):
+        self.hidden_size = hidden_size
+        self.dtype = dtype  # external/checkpoint dtype, not the arena's
+        self.hidden_limit = hidden_limit
+        self.cell_limit = cell_limit
+        self.h = np.zeros((capacity, hidden_size), dtype=np.float64)
+        self.c = np.zeros((capacity, hidden_size), dtype=np.float64)
+        self._free = list(range(capacity - 1, -1, -1))
+        self.grow_hook = None  # rebinds live slot views after a resize
+
+    def _alloc(self) -> int:
+        if not self._free:
+            self._grow()
+        return self._free.pop()
+
+    def _grow(self) -> None:
+        capacity = self.h.shape[0]
+        new_h = np.zeros((capacity * 2, self.hidden_size), dtype=np.float64)
+        new_c = np.zeros_like(new_h)
+        new_h[:capacity] = self.h
+        new_c[:capacity] = self.c
+        self.h, self.c = new_h, new_c
+        self._free.extend(range(capacity * 2 - 1, capacity - 1, -1))
+        if self.grow_hook is not None:
+            self.grow_hook()
+
+    def new_slot(self, start: int) -> _WindowSlot:
+        col = self._alloc()
+        self.h[col] = 0.0
+        self.c[col] = 0.0
+        return _WindowSlot(start, self.h[col], self.c[col], col=col)
+
+    def adopt_slots(self, entries) -> list:
+        adopted: list = []
+        try:
+            for start, filled, hidden, cell in entries:
+                h = np.asarray(hidden, dtype=np.float64)
+                c = np.asarray(cell, dtype=np.float64)
+                if self.hidden_limit is not None and (
+                    float(np.max(np.abs(h), initial=0.0)) > self.hidden_limit
+                    or float(np.max(np.abs(c), initial=0.0)) > self.cell_limit
+                ):
+                    raise FusedOverflow
+                col = self._alloc()
+                self.h[col] = h
+                self.c[col] = c
+                adopted.append(
+                    _WindowSlot(start, self.h[col], self.c[col],
+                                filled=filled, col=col)
+                )
+        except FusedOverflow:
+            for slot in adopted:
+                self.release_slot(slot)
+            raise
+        return adopted
+
+    def release_slot(self, slot: _WindowSlot) -> None:
+        if slot.col is not None:
+            self._free.append(slot.col)
+            slot.col = None
 
 
 class StreamSession:
@@ -154,63 +293,376 @@ class StreamSession:
     ``ceil(window_length / stride)`` slots are ever open, which bounds
     the session's state to a fixed number of ``(h, C)`` vector pairs.
 
-    Sessions are driven by a :class:`SessionManager`; they are not
-    stepped directly.
+    Slot state lives in the manager's backend store (owned arrays for
+    ``reference``, arena views for ``fused``).  Sessions are driven by a
+    :class:`SessionManager`; they are not stepped directly.
     """
 
     __slots__ = ("key", "calls_seen", "flagged", "windows_classified",
-                 "slots", "last_used_tick", "_hidden_size", "_dtype")
+                 "slots", "last_used_tick", "_store")
 
-    def __init__(self, key, hidden_size: int, dtype):
+    def __init__(self, key, store):
         self.key = key
         self.calls_seen = 0
         self.flagged = False
         self.windows_classified = 0
         self.slots: list = []
         self.last_used_tick = 0
-        self._hidden_size = hidden_size
-        self._dtype = dtype
+        self._store = store
 
     def open_slot(self) -> _WindowSlot:
         """Open a zero-state partial window starting at ``calls_seen``."""
-        slot = _WindowSlot(
-            start=self.calls_seen,
-            hidden=np.zeros(self._hidden_size, dtype=self._dtype),
-            cell=np.zeros(self._hidden_size, dtype=self._dtype),
-        )
+        slot = self._store.new_slot(self.calls_seen)
         self.slots.append(slot)
         return slot
 
     def close_slot(self, slot: _WindowSlot) -> None:
         self.slots.remove(slot)
+        self._store.release_slot(slot)
+
+    def release_slots(self) -> None:
+        """Return all slot storage to the store (eviction/close path)."""
+        for slot in self.slots:
+            self._store.release_slot(slot)
+        self.slots = []
+
+    def rebind_store(self, store) -> None:
+        """Move this session's slot state into another store (degrade path)."""
+        old_store = self._store
+        for slot in self.slots:
+            hidden = np.array(slot.hidden, dtype=store.dtype)
+            cell = np.array(slot.cell, dtype=store.dtype)
+            old_store.release_slot(slot)
+            slot.hidden = hidden
+            slot.cell = cell
+        self._store = store
 
     def checkpoint(self) -> SessionCheckpoint:
         """Snapshot the full session state into an alias-free checkpoint."""
+        dtype = self._store.dtype
         return SessionCheckpoint(
             key=self.key,
             calls_seen=self.calls_seen,
             flagged=self.flagged,
             windows_classified=self.windows_classified,
             slots=tuple(
-                (slot.start, slot.filled, slot.hidden.copy(), slot.cell.copy())
+                (slot.start, slot.filled,
+                 np.array(slot.hidden, dtype=dtype),
+                 np.array(slot.cell, dtype=dtype))
                 for slot in self.slots
             ),
         )
 
     @classmethod
     def from_checkpoint(cls, checkpoint: SessionCheckpoint,
-                        hidden_size: int, dtype) -> "StreamSession":
-        session = cls(checkpoint.key, hidden_size, dtype)
+                        store) -> "StreamSession":
+        session = cls(checkpoint.key, store)
         session.calls_seen = checkpoint.calls_seen
         session.flagged = checkpoint.flagged
         session.windows_classified = checkpoint.windows_classified
-        session.slots = [
-            _WindowSlot(start=start, filled=filled,
-                        hidden=np.array(hidden, dtype=dtype),
-                        cell=np.array(cell, dtype=dtype))
-            for start, filled, hidden, cell in checkpoint.slots
-        ]
+        session.slots = store.adopt_slots(checkpoint.slots)
         return session
+
+
+def _open_due_slot(session: StreamSession, stride: int) -> None:
+    """Open this tick's window unless an overflow retry already did.
+
+    A fused tick that trips the overflow guard is re-run on the
+    reference path *after* its slot opens; the retry must not open a
+    duplicate.  A freshly-opened slot is recognisable as the last slot
+    with ``start == calls_seen`` (older slots always have smaller
+    starts).
+    """
+    if session.calls_seen % stride == 0 and (
+        not session.slots or session.slots[-1].start != session.calls_seen
+    ):
+        session.open_slot()
+
+
+class ReferenceStepper:
+    """The shipped per-tick mechanics: Python row lists + NumPy kernels.
+
+    This is the oracle the fused stepper is measured against — its
+    behaviour (iteration order, kernel call sequence, rounding) is the
+    bit-exactness baseline and must not drift.
+    """
+
+    name = "reference"
+
+    def __init__(self, manager: "SessionManager"):
+        self.manager = manager
+        manager._store = _PlainSlotStore(manager._hidden_size, manager._dtype)
+
+    def materialize(self) -> None:
+        pass
+
+    def after_tick(self, stepped, completed: bool) -> None:
+        pass
+
+    def step_rows(self, stepped) -> tuple:
+        manager = self.manager
+        stride = manager.config.stride
+        row_sessions: list = []
+        row_slots: list = []
+        h_rows: list = []
+        c_rows: list = []
+        x_tokens: list = []
+        for session, token in stepped:
+            _open_due_slot(session, stride)
+            for slot in session.slots:
+                row_sessions.append(session)
+                row_slots.append(slot)
+                h_rows.append(slot.hidden)
+                c_rows.append(slot.cell)
+                x_tokens.append(token)
+            session.calls_seen += 1
+
+        completions: list = []
+        if row_slots:
+            engine = manager.engine
+            embedded = engine.preprocess.run_batch(
+                np.asarray(x_tokens, dtype=np.int64)
+            )
+            gate_outputs = engine.gates.run_batch(np.stack(h_rows), embedded)
+            hidden, cell = engine.hidden_state.step_batch(
+                gate_outputs, np.stack(c_rows)
+            )
+            completed: list = []
+            for index, slot in enumerate(row_slots):
+                slot.hidden[:] = hidden[index]
+                slot.cell[:] = cell[index]
+                slot.filled += 1
+                if slot.filled == manager.window_length:
+                    completed.append(index)
+            if completed:
+                probabilities = engine.hidden_state.classify_batch(
+                    hidden[np.asarray(completed, dtype=np.intp)]
+                )
+                completions = [
+                    (row_sessions[index], row_slots[index], float(probability))
+                    for probability, index in zip(probabilities, completed)
+                ]
+        return len(row_slots), completions
+
+
+class _Roster:
+    """Cached row structure reused across ticks with no structural change."""
+
+    __slots__ = ("sessions", "row_sessions", "row_slots", "cols", "counts",
+                 "fast_left")
+
+    def __init__(self, sessions, row_sessions, row_slots, cols, counts,
+                 fast_left):
+        self.sessions = sessions
+        self.row_sessions = row_sessions
+        self.row_slots = row_slots
+        self.cols = cols
+        self.counts = counts
+        self.fast_left = fast_left
+
+
+class FusedStepper:
+    """Arena-backed stepping with roster caching (the ``fused`` backend).
+
+    Two tick shapes:
+
+    * **slow** — structural work due (a window opens or completes, or
+      the stepped set changed): enumerate slots in Python like the
+      reference path, but gather/scatter state by arena index and rebuild
+      the roster cache.
+    * **fast** — the cached roster still describes this tick exactly: no
+      Python per-slot work at all; one embedding gather, one fused (or
+      batched-kernel) step, one scatter.  ``slot.filled`` bookkeeping is
+      deferred (``_pending``) and folded in by :meth:`materialize`
+      before anything outside the tick reads it.
+
+    How many fast ticks a roster is good for is computed at build time
+    from the stride phase of every stepped session and the fill count of
+    every open slot, so correctness never depends on re-checking them
+    per tick.
+    """
+
+    name = "fused"
+
+    def __init__(self, manager: "SessionManager", backend):
+        self.manager = manager
+        self.backend = backend
+        self.math = backend.fused_math  # None on the float levels
+        if self.math is not None:
+            hidden_limit = float(self.math.scale)
+            cell_limit = self.math.cell_limit
+        else:
+            hidden_limit = cell_limit = None
+        store = _ArenaSlotStore(
+            manager._hidden_size, manager._dtype, hidden_limit, cell_limit
+        )
+        store.grow_hook = self._rebind_views
+        manager._store = store
+        self.store = store
+        self._roster: _Roster | None = None
+        self._pending = 0
+        self._draft: tuple | None = None
+
+    # -- bookkeeping hooks ---------------------------------------------
+
+    def _rebind_views(self) -> None:
+        store = self.store
+        for session in self.manager._resident.values():
+            for slot in session.slots:
+                slot.hidden = store.h[slot.col]
+                slot.cell = store.c[slot.col]
+
+    def materialize(self) -> None:
+        """Fold deferred fast-tick fill counts into the slot objects."""
+        pending = self._pending
+        if pending and self._roster is not None:
+            for slot in self._roster.row_slots:
+                slot.filled += pending
+        self._pending = 0
+
+    # -- stepping -------------------------------------------------------
+
+    def step_rows(self, stepped) -> tuple:
+        roster = self._roster
+        if roster is not None and roster.fast_left > 0 and len(stepped) == len(roster.sessions):
+            for (session, _token), cached in zip(stepped, roster.sessions):
+                if session is not cached:
+                    break
+            else:
+                return self._fast_tick(stepped, roster)
+        return self._slow_tick(stepped)
+
+    def _step_state(self, h, c, embedded) -> tuple:
+        if self.math is not None:
+            return self.math.step_rows(h, c, embedded)
+        engine = self.manager.engine
+        gate_outputs = engine.gates.run_batch(h, embedded)
+        return engine.hidden_state.step_batch(gate_outputs, c)
+
+    def _classify(self, hidden_rows) -> np.ndarray:
+        if self.math is not None:
+            return self.math.classify_rows(hidden_rows)
+        return self.manager.engine.hidden_state.classify_batch(hidden_rows)
+
+    def _fast_tick(self, stepped, roster: _Roster) -> tuple:
+        manager = self.manager
+        tokens = np.fromiter(
+            (token for _, token in stepped), dtype=np.int64, count=len(stepped)
+        )
+        rows = int(roster.cols.size)
+        if rows:
+            row_tokens = np.repeat(tokens, roster.counts)
+            embedded = manager.engine.preprocess.run_batch(row_tokens)
+            store = self.store
+            h = store.h[roster.cols]
+            c = store.c[roster.cols]
+            new_h, new_c = self._step_state(h, c, embedded)  # may raise FusedOverflow
+            store.h[roster.cols] = new_h
+            store.c[roster.cols] = new_c
+        for session, _token in stepped:
+            session.calls_seen += 1
+        self._pending += 1
+        roster.fast_left -= 1
+        return rows, []
+
+    def _slow_tick(self, stepped) -> tuple:
+        self.materialize()
+        self._roster = None
+        self._draft = None
+        manager = self.manager
+        stride = manager.config.stride
+        count = len(stepped)
+        sessions: list = []
+        row_sessions: list = []
+        row_slots: list = []
+        counts = np.empty(count, dtype=np.intp)
+        tokens = np.empty(count, dtype=np.int64)
+        for index, (session, token) in enumerate(stepped):
+            _open_due_slot(session, stride)
+            slots = session.slots
+            sessions.append(session)
+            counts[index] = len(slots)
+            tokens[index] = token
+            for slot in slots:
+                row_sessions.append(session)
+                row_slots.append(slot)
+
+        rows = len(row_slots)
+        completions: list = []
+        if rows:
+            cols = np.fromiter(
+                (slot.col for slot in row_slots), dtype=np.intp, count=rows
+            )
+            row_tokens = np.repeat(tokens, counts)
+            embedded = manager.engine.preprocess.run_batch(row_tokens)
+            store = self.store
+            h = store.h[cols]
+            c = store.c[cols]
+            new_h, new_c = self._step_state(h, c, embedded)  # may raise FusedOverflow
+            store.h[cols] = new_h
+            store.c[cols] = new_c
+            completed: list = []
+            window = manager.window_length
+            for index, slot in enumerate(row_slots):
+                slot.filled += 1
+                if slot.filled == window:
+                    completed.append(index)
+            if completed:
+                probabilities = self._classify(
+                    new_h[np.asarray(completed, dtype=np.intp)]
+                )
+                completions = [
+                    (row_sessions[index], row_slots[index], float(probability))
+                    for probability, index in zip(probabilities, completed)
+                ]
+        else:
+            cols = np.zeros(0, dtype=np.intp)
+        for session, _token in stepped:
+            session.calls_seen += 1
+        self._draft = (sessions, row_sessions, row_slots, cols, counts)
+        return rows, completions
+
+    def after_tick(self, stepped, completed: bool) -> None:
+        """Build the roster for upcoming ticks from this tick's outcome."""
+        draft = self._draft
+        self._draft = None
+        if draft is None:
+            return  # fast tick: roster already live
+        sessions, row_sessions, row_slots, cols, counts = draft
+        if not sessions:
+            return
+        if completed:
+            # Window closes invalidated the draft's rows; re-enumerate.
+            row_sessions, row_slots = [], []
+            for index, session in enumerate(sessions):
+                counts[index] = len(session.slots)
+                for slot in session.slots:
+                    row_sessions.append(session)
+                    row_slots.append(slot)
+            cols = np.fromiter(
+                (slot.col for slot in row_slots), dtype=np.intp,
+                count=len(row_slots),
+            )
+        stride = self.manager.config.stride
+        calls = np.fromiter(
+            (session.calls_seen for session in sessions), dtype=np.int64,
+            count=len(sessions),
+        )
+        # Next window opens for session i at age ((-calls_i) mod stride)+1;
+        # the earliest completion at age window - max(filled).  The tick
+        # at that age must be slow, every tick before it may be fast.
+        next_open = int(np.min((-calls) % stride)) + 1
+        if row_slots:
+            max_filled = max(slot.filled for slot in row_slots)
+            next_complete = self.manager.window_length - max_filled
+            horizon = min(next_open, next_complete)
+        else:
+            horizon = next_open
+        fast_left = horizon - 1
+        if fast_left > 0:
+            self._roster = _Roster(
+                sessions, row_sessions, row_slots, cols, counts, fast_left
+            )
 
 
 class SessionManager:
@@ -224,6 +676,10 @@ class SessionManager:
         its live ``telemetry`` reference) for every step.
     config:
         Session policy; see :class:`SessionConfig`.
+    backend:
+        Kernel backend name for the stepping hot path (``"reference"``
+        or ``"fused"``); ``None`` uses the engine's configured backend.
+        See :mod:`repro.core.kernels.backends`.
 
     The manager keeps two tiers of state:
 
@@ -231,7 +687,8 @@ class SessionManager:
       batch, bounded by the memory budget;
     * the **checkpoint store** — compact evicted state, the "storage
       tier" a real CSD would spill to; restoring from it is transparent
-      and bit-exact.
+      and bit-exact.  Its bytes are tracked (``checkpoint_bytes``) and
+      optionally bounded by ``checkpoint_budget_bytes``.
 
     Stepping never touches the engine's sequence/AXI counters: the
     incremental path is a different execution model from the per-window
@@ -239,7 +696,8 @@ class SessionManager:
     (see ``docs/observability.md``).
     """
 
-    def __init__(self, engine, config: SessionConfig | None = None):
+    def __init__(self, engine, config: SessionConfig | None = None,
+                 backend: str | None = None):
         self.engine = engine
         self.config = config or SessionConfig()
         engine._require_loaded()
@@ -259,8 +717,17 @@ class SessionManager:
         self._max_resident = self._effective_cap()
         self._sequence_microseconds = engine.sequence_microseconds()
 
+        backend_name = backend if backend is not None else engine.config.backend
+        if backend_name == engine.config.backend:
+            self.backend = engine.step_backend
+        else:
+            self.backend = resolve_backend(backend_name, engine)
+        self._store = None  # set by the stepper's constructor
+        self._stepper = self.backend.session_stepper(self)
+
         self._resident: collections.OrderedDict = collections.OrderedDict()
-        self._checkpoints: dict = {}
+        self._checkpoints: collections.OrderedDict = collections.OrderedDict()
+        self._checkpoint_bytes = 0
         self._tick = 0
         # Plain-int counters, always live (telemetry only mirrors them).
         self._evictions: dict = {}
@@ -301,6 +768,11 @@ class SessionManager:
     def resident_bytes(self) -> int:
         return len(self._resident) * self.session_bytes
 
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Bytes retained by the checkpoint store (budgeted separately)."""
+        return self._checkpoint_bytes
+
     def known_keys(self) -> tuple:
         """Every session key currently held, resident or checkpointed."""
         keys = list(self._resident)
@@ -310,9 +782,12 @@ class SessionManager:
     def stats(self) -> dict:
         """Plain-data operational counters (mirrors the telemetry)."""
         return {
+            "backend": self.backend.name,
+            "backend_fallbacks": dict(self.backend.fallback_reasons),
             "resident_sessions": self.resident_count,
             "checkpointed_sessions": self.checkpointed_count,
             "resident_bytes": self.resident_bytes,
+            "checkpoint_bytes": self.checkpoint_bytes,
             "tokens": self._tokens,
             "tokens_dropped": self._tokens_dropped,
             "steps": self._steps,
@@ -327,31 +802,67 @@ class SessionManager:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def _count_eviction(self, reason: str) -> None:
+        self._evictions[reason] = self._evictions.get(reason, 0) + 1
+        self._count("repro_session_evictions_total", reason=reason)
+
+    def _store_checkpoint(self, checkpoint: SessionCheckpoint) -> None:
+        previous = self._checkpoints.pop(checkpoint.key, None)
+        if previous is not None:
+            self._checkpoint_bytes -= previous.nbytes
+        self._checkpoints[checkpoint.key] = checkpoint
+        self._checkpoint_bytes += checkpoint.nbytes
+        budget = self.config.checkpoint_budget_bytes
+        if budget is not None:
+            while self._checkpoint_bytes > budget and self._checkpoints:
+                _, dropped = self._checkpoints.popitem(last=False)
+                self._checkpoint_bytes -= dropped.nbytes
+                self._count_eviction(EVICT_CHECKPOINT_BUDGET)
+
+    def _pop_checkpoint(self, key) -> SessionCheckpoint | None:
+        checkpoint = self._checkpoints.pop(key, None)
+        if checkpoint is not None:
+            self._checkpoint_bytes -= checkpoint.nbytes
+        return checkpoint
+
+    def _degrade(self, reason: str) -> None:
+        """Swap to the reference stepper mid-run (overflow guard path)."""
+        self._stepper.materialize()
+        old_stepper = self._stepper
+        self._stepper = ReferenceStepper(self)  # rebinds self._store
+        del old_stepper
+        for session in self._resident.values():
+            session.rebind_store(self._store)
+        self.backend.record_fallback(reason)
+
     def _activate(self, key) -> StreamSession:
         """Resident lookup with LRU touch; restores or creates as needed."""
         session = self._resident.get(key)
         if session is not None:
             self._resident.move_to_end(key)
         else:
-            checkpoint = self._checkpoints.pop(key, None)
+            checkpoint = self._pop_checkpoint(key)
             if checkpoint is not None:
-                session = StreamSession.from_checkpoint(
-                    checkpoint, self._hidden_size, self._dtype
-                )
+                try:
+                    session = StreamSession.from_checkpoint(checkpoint, self._store)
+                except FusedOverflow:
+                    self._degrade(FALLBACK_OVERFLOW_GUARD)
+                    session = StreamSession.from_checkpoint(checkpoint, self._store)
                 self._restores += 1
                 self._count("repro_session_restores_total")
             else:
-                session = StreamSession(key, self._hidden_size, self._dtype)
+                session = StreamSession(key, self._store)
             self._resident[key] = session
         session.last_used_tick = self._tick
         return session
 
     def _evict_session(self, key, reason: str, checkpoint: bool = True) -> None:
+        self._stepper.materialize()
         session = self._resident.pop(key)
         if checkpoint:
-            self._checkpoints[key] = session.checkpoint()
-        self._evictions[reason] = self._evictions.get(reason, 0) + 1
-        self._count("repro_session_evictions_total", reason=reason)
+            self._store_checkpoint(session.checkpoint())
+        session.release_slots()
+        self._count_eviction(reason)
 
     def _enforce_budget(self) -> None:
         cap = self._max_resident
@@ -383,9 +894,8 @@ class SessionManager:
         if key in self._resident:
             self._evict_session(key, EVICT_CLOSED, checkpoint=False)
         elif key in self._checkpoints:
-            del self._checkpoints[key]
-            self._evictions[EVICT_CLOSED] = self._evictions.get(EVICT_CLOSED, 0) + 1
-            self._count("repro_session_evictions_total", reason=EVICT_CLOSED)
+            self._pop_checkpoint(key)
+            self._count_eviction(EVICT_CLOSED)
         else:
             raise KeyError(f"unknown session {key!r}")
 
@@ -397,6 +907,7 @@ class SessionManager:
         hand-off (the fleet failover path does exactly this).
         """
         if key in self._resident:
+            self._stepper.materialize()
             return self._resident[key].checkpoint()
         if key in self._checkpoints:
             return self._checkpoints[key]
@@ -406,7 +917,7 @@ class SessionManager:
         """Adopt a migrated session; it restores on its next token."""
         if checkpoint.key in self._resident:
             raise ValueError(f"session {checkpoint.key!r} is already resident")
-        self._checkpoints[checkpoint.key] = checkpoint
+        self._store_checkpoint(checkpoint)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -440,7 +951,6 @@ class SessionManager:
             in row order.
         """
         self._tick += 1
-        stride = self.config.stride
         stepped: list = []
         for key, token in tokens.items():
             session = self._activate(key)
@@ -450,55 +960,21 @@ class SessionManager:
                 continue
             stepped.append((session, int(token)))
 
-        row_sessions: list = []
-        row_slots: list = []
-        h_rows: list = []
-        c_rows: list = []
-        x_tokens: list = []
-        for session, token in stepped:
-            if session.calls_seen % stride == 0:
-                session.open_slot()
-            for slot in session.slots:
-                row_sessions.append(session)
-                row_slots.append(slot)
-                h_rows.append(slot.hidden)
-                c_rows.append(slot.cell)
-                x_tokens.append(token)
-            session.calls_seen += 1
-
-        verdicts: list = []
-        if row_slots:
-            engine = self.engine
-            embedded = engine.preprocess.run_batch(
-                np.asarray(x_tokens, dtype=np.int64)
-            )
-            gate_outputs = engine.gates.run_batch(np.stack(h_rows), embedded)
-            hidden, cell = engine.hidden_state.step_batch(
-                gate_outputs, np.stack(c_rows)
-            )
-            completed: list = []
-            for index, slot in enumerate(row_slots):
-                slot.hidden[:] = hidden[index]
-                slot.cell[:] = cell[index]
-                slot.filled += 1
-                if slot.filled == self.window_length:
-                    completed.append(index)
-            if completed:
-                probabilities = engine.hidden_state.classify_batch(
-                    hidden[np.asarray(completed, dtype=np.intp)]
-                )
-                for probability, index in zip(probabilities, completed):
-                    verdicts.append(
-                        self._complete_window(
-                            row_sessions[index], row_slots[index],
-                            float(probability),
-                        )
-                    )
-            self._slot_steps += len(row_slots)
+        try:
+            rows, completions = self._stepper.step_rows(stepped)
+        except FusedOverflow:
+            self._degrade(FALLBACK_OVERFLOW_GUARD)
+            rows, completions = self._stepper.step_rows(stepped)
+        verdicts = [
+            self._complete_window(session, slot, probability)
+            for session, slot, probability in completions
+        ]
+        self._slot_steps += rows
+        self._stepper.after_tick(stepped, bool(completions))
 
         self._steps += 1
         self._enforce_budget()
-        self._emit_step_telemetry(len(stepped), len(row_slots), len(verdicts))
+        self._emit_step_telemetry(len(stepped), rows, len(verdicts))
         return verdicts
 
     def _complete_window(self, session: StreamSession, slot: _WindowSlot,
@@ -539,8 +1015,12 @@ class SessionManager:
         telemetry.counter("repro_session_steps_total").inc()
         telemetry.counter("repro_session_tokens_total").inc(sessions)
         telemetry.counter("repro_session_slot_steps_total").inc(rows)
+        telemetry.counter(METRIC_TICKS, backend=self.backend.name).inc()
         telemetry.gauge("repro_session_resident").set(self.resident_count)
         telemetry.gauge("repro_session_state_bytes").set(self.resident_bytes)
+        telemetry.gauge("repro_session_checkpoint_bytes").set(
+            self._checkpoint_bytes
+        )
         telemetry.tracer.record(
             "session.step", self._tick - 1, self._tick,
             attributes={

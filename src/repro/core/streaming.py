@@ -15,6 +15,7 @@ the streaming ablation benchmark can quantify the claim.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from repro.core.config import EngineConfig
 from repro.core.kernels.base import KernelTiming
@@ -23,6 +24,19 @@ from repro.hw.dataflow import StageTiming, schedule
 
 #: Cycles for a word to traverse an AXI4-Stream FIFO hand-off.
 STREAM_FIFO_LATENCY_CYCLES = 2
+
+
+def _speedup(baseline_cycles: int, streamed_cycles: int) -> float:
+    """``baseline / streamed`` with degenerate denominators made honest.
+
+    A zero streamed-cycle count against a non-zero baseline is an
+    *unbounded* speedup — returning 1.0 there (as this once did) would
+    silently report "no speedup" for the best possible outcome.  Only
+    zero-over-zero, where the comparison is vacuous, reports 1.0.
+    """
+    if streamed_cycles == 0:
+        return math.inf if baseline_cycles > 0 else 1.0
+    return baseline_cycles / streamed_cycles
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,15 +51,13 @@ class StreamingReport:
 
     @property
     def item_speedup(self) -> float:
-        if self.streamed_item_cycles == 0:
-            return 1.0
-        return self.baseline_item_cycles / self.streamed_item_cycles
+        return _speedup(self.baseline_item_cycles, self.streamed_item_cycles)
 
     @property
     def sequence_speedup(self) -> float:
-        if self.streamed_sequence_cycles == 0:
-            return 1.0
-        return self.baseline_sequence_cycles / self.streamed_sequence_cycles
+        return _speedup(
+            self.baseline_sequence_cycles, self.streamed_sequence_cycles
+        )
 
     @property
     def streamed_item_microseconds(self) -> float:

@@ -10,7 +10,11 @@ from repro.core.mixed_precision import (
     MixedPrecisionPolicy,
     evaluate_policy,
 )
-from repro.core.streaming import STREAM_FIFO_LATENCY_CYCLES, streaming_report
+from repro.core.streaming import (
+    STREAM_FIFO_LATENCY_CYCLES,
+    StreamingReport,
+    streaming_report,
+)
 from repro.core.weights import HostWeights
 from repro.fixedpoint.qformat import PAPER_QFORMAT, QFormat
 from repro.nn.model import SequenceClassifier
@@ -48,6 +52,26 @@ class TestStreaming:
 
     def test_fifo_latency_small(self):
         assert STREAM_FIFO_LATENCY_CYCLES < 10
+
+    def test_zero_streamed_cycles_is_unbounded_speedup(self):
+        """Regression: a zero streamed-cycle count once reported a 1.0
+        "no speedup" instead of the unbounded speedup it actually is."""
+        from repro.hw.clock import ClockDomain
+
+        report = StreamingReport(
+            baseline_item_cycles=100, streamed_item_cycles=0,
+            baseline_sequence_cycles=1000, streamed_sequence_cycles=0,
+            clock=ClockDomain(),
+        )
+        assert report.item_speedup == float("inf")
+        assert report.sequence_speedup == float("inf")
+        # Zero over zero stays the vacuous 1.0, not NaN.
+        vacuous = StreamingReport(
+            baseline_item_cycles=0, streamed_item_cycles=0,
+            baseline_sequence_cycles=0, streamed_sequence_cycles=0,
+            clock=ClockDomain(),
+        )
+        assert vacuous.item_speedup == 1.0
 
 
 class TestMixedPrecisionPolicy:

@@ -376,3 +376,49 @@ class TestReport:
         assert np.isnan(report.latency_percentile_us(50))
         assert report.shed_rate == 0.0
         assert report.device_utilization() == (0.5,)
+
+
+class TestNearestRankPercentile:
+    """The one shared nearest-rank implementation (it was once duplicated
+    between the request-mode and session-mode reports)."""
+
+    def test_boundaries(self):
+        from repro.core.serving import nearest_rank_percentile
+
+        values = np.array([30, 10, 20], dtype=np.int64)  # unsorted on purpose
+        assert nearest_rank_percentile(values, 100) == 30.0
+        assert nearest_rank_percentile(values, 0.001) == 10.0
+        assert nearest_rank_percentile(values, 50) == 20.0
+
+    def test_single_sample_every_percentile(self):
+        from repro.core.serving import nearest_rank_percentile
+
+        single = np.array([7.0])
+        for percentile in (0.001, 1, 50, 99, 100):
+            assert nearest_rank_percentile(single, percentile) == 7.0
+
+    def test_empty_is_nan(self):
+        from repro.core.serving import nearest_rank_percentile
+
+        assert np.isnan(nearest_rank_percentile(np.array([]), 50))
+
+    def test_out_of_range_rejected(self):
+        from repro.core.serving import nearest_rank_percentile
+
+        for bad in (0, -1, 100.5, 101):
+            with pytest.raises(ValueError, match="percentile"):
+                nearest_rank_percentile(np.array([1.0]), bad)
+
+    def test_session_report_shares_the_helper(self):
+        from repro.core.serving import SessionServingReport
+
+        report = SessionServingReport(
+            verdicts=(), tokens_offered=3, tokens_shed={},
+            migrated_sessions=0, device_failures=0, event_log=(),
+            duration_us=100, device_busy_us=(10,),
+            token_latencies=(5, 15, 25), session_stats=(),
+        )
+        assert report.token_latency_percentile_us(100) == 25.0
+        assert report.token_latency_percentile_us(1) == 5.0
+        empty = dataclasses.replace(report, token_latencies=())
+        assert np.isnan(empty.token_latency_percentile_us(50))

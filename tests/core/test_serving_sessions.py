@@ -68,7 +68,7 @@ def dense_schedule(streams, tokens_per_stream, gap_us=50, seed=0):
 
 
 def serve(engines, streams, arrivals, session_config=None, config=None,
-          fault_plans=None) -> SessionServingReport:
+          fault_plans=None, backend=None) -> SessionServingReport:
     server = FleetServer(
         engines, streams,
         config or ServingConfig(max_batch=8, max_wait_us=100,
@@ -76,7 +76,8 @@ def serve(engines, streams, arrivals, session_config=None, config=None,
         fault_plans=fault_plans,
     )
     return server.serve_tokens(
-        arrivals, sessions=session_config or SessionConfig(stride=2)
+        arrivals, sessions=session_config or SessionConfig(stride=2),
+        backend=backend,
     )
 
 
@@ -108,6 +109,20 @@ class TestDeterminism:
         assert reports[0].verdicts == reports[1].verdicts
         assert reports[0].session_stats == reports[1].session_stats
         assert reports[0].token_latencies == reports[1].token_latencies
+
+    def test_fused_backend_same_verdicts_and_schedule(self):
+        """``serve_tokens(backend="fused")`` changes host wall-clock
+        only: the simulated event log and verdict stream are identical
+        to the reference backend's."""
+        streams = make_streams(4)
+        arrivals = dense_schedule(streams, 2 * WINDOW, seed=9)
+        reference = serve(make_engines(2), streams, arrivals,
+                          backend="reference")
+        fused = serve(make_engines(2), streams, arrivals, backend="fused")
+        assert fused.verdicts == reference.verdicts
+        assert fused.event_log == reference.event_log
+        assert fused.token_latencies == reference.token_latencies
+        assert all(s["backend"] == "fused" for s in fused.session_stats)
 
 
 class TestParity:

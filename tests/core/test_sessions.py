@@ -21,6 +21,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import EngineConfig, OptimizationLevel
 from repro.core.engine import CSDInferenceEngine
 from repro.core.sessions import (
+    EVICT_CHECKPOINT_BUDGET,
     EVICT_CLOSED,
     EVICT_IDLE,
     EVICT_LRU,
@@ -91,6 +92,26 @@ class TestIncrementalParity:
             ]
             assert [v.is_ransomware for v in got] == [
                 v.is_ransomware for v in want
+            ]
+
+    @given(
+        tokens=st.lists(st.integers(min_value=0, max_value=VOCAB - 1),
+                        min_size=0, max_size=40),
+        stride=st.integers(min_value=1, max_value=WINDOW + 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fused_backend_matches_infer_sequence_recompute(self, tokens, stride):
+        """The fused hot path emits, for every completed window, exactly
+        the ``infer_sequence`` recompute verdict — at every level."""
+        for level in OptimizationLevel:
+            engine = engine_for(level)
+            manager = SessionManager(
+                engine, SessionConfig(stride=stride), backend="fused"
+            )
+            got = incremental_verdicts(manager, "s", tokens)
+            want = recompute_verdicts(engine, tokens, 0.5, stride)
+            assert [(v.window_index, v.probability) for v in got] == [
+                (v.window_index, v.probability) for v in want
             ]
 
     def test_long_stream_every_window(self):
@@ -177,6 +198,97 @@ class TestMemoryBudget:
         assert manager.session_bytes == (
             SESSION_OVERHEAD_BYTES + manager.ring_capacity * 2 * hidden * 8
         )
+
+
+class TestCheckpointBudget:
+    """The checkpoint store's *own* byte budget (distinct from the
+    resident-session budget, which deliberately meters only live state)."""
+
+    def _fill(self, manager, count, ticks=3):
+        for tick in range(ticks):
+            manager.step({f"p{i}": (i + tick) % VOCAB for i in range(count)})
+
+    def test_checkpoint_bytes_metered_and_bounded(self):
+        engine = engine_for(OptimizationLevel.FIXED_POINT)
+        probe = SessionManager(engine, SessionConfig(stride=WINDOW))
+        self._fill(probe, 1)
+        probe.evict("p0")
+        one_checkpoint = probe.checkpoint_bytes
+        assert one_checkpoint > 0
+
+        budget = 4 * one_checkpoint
+        manager = SessionManager(
+            engine,
+            SessionConfig(stride=WINDOW, checkpoint_budget_bytes=budget),
+        )
+        self._fill(manager, 16)
+        for i in range(16):
+            manager.evict(f"p{i}")
+            assert manager.checkpoint_bytes <= budget
+        stats = manager.stats()
+        assert stats["checkpoint_bytes"] == manager.checkpoint_bytes
+        assert stats["evictions"][EVICT_CHECKPOINT_BUDGET] > 0
+        # The oldest checkpoints were dropped; the newest survive.
+        assert manager.checkpointed_count == 4
+
+    def test_unbudgeted_store_counts_but_never_drops(self):
+        engine = engine_for(OptimizationLevel.VANILLA)
+        manager = SessionManager(engine, SessionConfig(stride=WINDOW))
+        self._fill(manager, 8)
+        for i in range(8):
+            manager.evict(f"p{i}")
+        assert manager.checkpointed_count == 8
+        assert manager.checkpoint_bytes > 0
+        assert EVICT_CHECKPOINT_BUDGET not in manager.stats()["evictions"]
+
+    def test_restore_releases_checkpoint_bytes(self):
+        engine = engine_for(OptimizationLevel.VANILLA)
+        manager = SessionManager(engine, SessionConfig(stride=WINDOW))
+        self._fill(manager, 1)
+        manager.evict("p0")
+        assert manager.checkpoint_bytes > 0
+        manager.step({"p0": 1})  # restores
+        assert manager.checkpoint_bytes == 0
+
+    def test_resident_budget_ignores_checkpoint_store(self):
+        """The memory-accounting bugfix: ``resident_bytes`` meters only
+        resident sessions, and checkpoints never push residents out."""
+        engine = engine_for(OptimizationLevel.FIXED_POINT)
+        config = SessionConfig(stride=WINDOW)
+        probe = SessionManager(engine, config)
+        budget = 4 * probe.session_bytes
+        manager = SessionManager(
+            engine, dataclasses.replace(config, memory_budget_bytes=budget)
+        )
+        self._fill(manager, 32)  # 28 sessions evicted to checkpoints
+        assert manager.resident_count <= 4
+        assert manager.checkpointed_count >= 28
+        assert manager.resident_bytes <= budget
+        # Another full round: the big checkpoint store must not shrink
+        # the resident set below what the budget itself allows.
+        self._fill(manager, 32)
+        assert manager.resident_count == 4
+
+    def test_checkpoint_budget_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(checkpoint_budget_bytes=0)
+
+    def test_checkpoint_bytes_gauge_emitted(self):
+        from repro.telemetry import Telemetry
+
+        engine = engine_for(OptimizationLevel.FIXED_POINT)
+        telemetry = Telemetry()
+        engine.attach_telemetry(telemetry)
+        try:
+            manager = SessionManager(
+                engine, SessionConfig(stride=WINDOW, max_resident_sessions=1)
+            )
+            self._fill(manager, 4)
+            assert telemetry.metrics.gauge(
+                "repro_session_checkpoint_bytes"
+            ).value == manager.checkpoint_bytes > 0
+        finally:
+            engine.attach_telemetry(None)
 
 
 class TestCheckpointRestore:

@@ -20,6 +20,7 @@ import pathlib
 import pytest
 
 from repro.core.config import OptimizationLevel
+from repro.core.kernels.backends import available_backends
 from tests.reference import GOLDEN_SAMPLE_COUNT, golden_detector_scores
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "detector_scores.json"
@@ -71,3 +72,38 @@ class TestGoldenScores:
         baseline = verdicts[OptimizationLevel.VANILLA.name]
         for level, decided in verdicts.items():
             assert decided == baseline, f"{level} disagrees with VANILLA"
+
+
+#: Every registered backend beyond the default the golden file was
+#: generated with; each must reproduce the golden scores bit-exactly.
+_EXTRA_BACKENDS = [b for b in available_backends() if b != "reference"]
+
+
+@pytest.fixture(scope="module", params=_EXTRA_BACKENDS)
+def backend_scores(request, trained_model, tiny_split):
+    _, test_split = tiny_split
+    return request.param, golden_detector_scores(
+        trained_model, test_split, backend=request.param
+    )
+
+
+class TestBackendParityMatrix:
+    """Backend × optimisation-level golden matrix.
+
+    The ``reference`` backend *is* the pipeline the golden file pins
+    (covered by :class:`TestGoldenScores`); every other registered
+    backend must hit the same scores at every level, through the full
+    deployed detector path.
+    """
+
+    @pytest.mark.parametrize("level", [l.name for l in OptimizationLevel])
+    def test_backend_matches_golden(self, golden, backend_scores, level):
+        backend, scores = backend_scores
+        expected = golden["scores"][level]
+        actual = scores[level]
+        assert len(actual) == len(expected)
+        for index, (want, got) in enumerate(zip(expected, actual)):
+            assert got == pytest.approx(want, abs=ATOL), (
+                f"backend {backend} at {level}, sequence {index}: "
+                f"golden {want!r} vs live {got!r}"
+            )

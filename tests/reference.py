@@ -58,19 +58,22 @@ def train_reference_model(train_split, test_split) -> SequenceClassifier:
     return model
 
 
-def golden_detector_scores(model, test_split) -> dict:
+def golden_detector_scores(model, test_split, backend: str = "reference") -> dict:
     """Detector probabilities per optimisation level on the pinned subset.
 
     Each pinned sequence is streamed through a fresh
     :class:`~repro.ransomware.detector.RansomwareDetector` (stride 1), so
     every score travels the full deployed path: buffer fill, window
-    formation, CSD engine inference.
+    formation, CSD engine inference.  ``backend`` selects the kernel
+    backend under test; every registered backend must reproduce the
+    golden scores bit-exactly.
     """
     sequences = test_split.sequences[:GOLDEN_SAMPLE_COUNT]
     scores: dict = {}
     for level in OptimizationLevel:
         engine = engine_at_level(
-            model, level, sequence_length=REFERENCE_SEQUENCE_LENGTH
+            model, level, sequence_length=REFERENCE_SEQUENCE_LENGTH,
+            backend=backend,
         )
         detector = RansomwareDetector(engine)
         level_scores = []
