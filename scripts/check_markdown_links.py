@@ -22,7 +22,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-DEFAULT_TARGETS = ["docs", "README.md", "EXPERIMENTS.md"]
+DEFAULT_TARGETS = [
+    "docs",
+    "README.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "benchmarks/README.md",
+]
 
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_SCHEMES = ("http://", "https://", "mailto:")

@@ -16,7 +16,11 @@ Commands cover the operational loop a data-center operator would run:
   ``docs/streaming.md``);
 * ``fleet-serve`` — run the deterministic multi-device serving
   simulator (dynamic batching, bounded queues, timeout/failover) over a
-  seeded synthetic workload and print latency/shed/utilisation figures.
+  seeded synthetic workload and print latency/shed/utilisation figures;
+* ``control-plane`` — run the hierarchical rack/node/drive control
+  plane (shard-affine routing, QoS admission, autoscaling, rolling
+  drains) over a simulated fleet and print the operator report (see
+  ``docs/control_plane.md``).
 
 The global ``--telemetry <path>`` flag (before the subcommand) records
 structured telemetry — counters, latency histograms, and kernel-level
@@ -427,6 +431,183 @@ def _run_fleet_serve(args) -> int:
     return 0
 
 
+def _add_control_plane_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "control-plane",
+        help="run the hierarchical rack/node/drive control plane over a "
+             "simulated CSD fleet (QoS admission, autoscaling, drains)",
+    )
+    parser.add_argument("weights", help="weight file from the train command")
+    parser.add_argument("--racks", type=int, default=2)
+    parser.add_argument("--nodes-per-rack", type=int, default=2)
+    parser.add_argument("--drives-per-node", type=int, default=3)
+    parser.add_argument("--active-per-node", type=int, default=2,
+                        help="drives per node in service at start "
+                             "(the rest are autoscaling standby)")
+    parser.add_argument("--shards-per-drive", type=int, default=4)
+    parser.add_argument("--qos", action="append", default=None,
+                        metavar="NAME=PRIORITY[:CAP]",
+                        help="QoS class spec, repeatable (e.g. gold=2 "
+                             "bronze=0:500); default gold=2 + bronze=0")
+    parser.add_argument("--streams-per-class", type=int, default=2_000)
+    parser.add_argument("--hot-per-class", type=int, default=200,
+                        help="streams per class that emit one token every "
+                             "round (these complete windows and produce "
+                             "verdicts); the rest register once and park "
+                             "as checkpoints")
+    parser.add_argument("--rounds", type=int, default=32)
+    parser.add_argument("--round-us", type=int, default=5_000)
+    parser.add_argument("--registration-rounds", type=int, default=None)
+    parser.add_argument("--hot-rounds", type=int, default=None)
+    parser.add_argument("--window", type=int, default=16,
+                        help="detection window (engine sequence length)")
+    parser.add_argument("--stride", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--max-wait-us", type=int, default=200)
+    parser.add_argument("--queue-depth", type=int, default=4_096)
+    parser.add_argument("--memory-budget-mib", type=float, default=8.0,
+                        help="per-drive resident-session budget")
+    parser.add_argument("--no-autoscale", action="store_true")
+    parser.add_argument("--high-watermark", type=float, default=0.75)
+    parser.add_argument("--low-watermark", type=float, default=0.25)
+    parser.add_argument("--sustain-rounds", type=int, default=2)
+    parser.add_argument("--cooldown-rounds", type=int, default=3)
+    parser.add_argument("--drain-drive", type=int, default=None,
+                        help="manually drain this drive at --drain-round")
+    parser.add_argument("--drain-round", type=int, default=None)
+    parser.add_argument("--rolling-upgrade", action="store_true",
+                        help="rolling drain/restore of every active drive, "
+                             "one per round")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_control_plane)
+
+
+def _parse_qos_specs(specs) -> tuple:
+    from repro.core.control_plane import QosClass
+
+    if not specs:
+        return (QosClass("gold", priority=2), QosClass("bronze", priority=0))
+    classes = []
+    for spec in specs:
+        try:
+            name, _, rest = spec.partition("=")
+            priority, _, cap = rest.partition(":")
+            classes.append(QosClass(
+                name=name, priority=int(priority),
+                max_streams=int(cap) if cap else None,
+            ))
+        except ValueError as error:
+            raise SystemExit(
+                f"bad --qos spec {spec!r} (want NAME=PRIORITY[:CAP]): {error}"
+            )
+    return tuple(classes)
+
+
+def _run_control_plane(args) -> int:
+    import dataclasses as _dc
+
+    from repro.core.control_plane import (
+        AutoscalePolicy,
+        ControlPlane,
+        ControlPlaneConfig,
+        TopologySpec,
+        generate_fleet_rounds,
+    )
+    from repro.core.serving import ServingConfig, build_fleet
+    from repro.core.sessions import SessionConfig
+    from repro.core.weights import HostWeights
+
+    weights = HostWeights.from_file(args.weights)
+    dims = _dc.replace(weights.dimensions, sequence_length=args.window)
+    config = EngineConfig(
+        dimensions=dims, optimization=OptimizationLevel.FIXED_POINT,
+        backend=getattr(args, "backend", None) or "reference",
+    )
+    topology = TopologySpec(
+        racks=args.racks, nodes_per_rack=args.nodes_per_rack,
+        drives_per_node=args.drives_per_node,
+        active_per_node=min(args.active_per_node, args.drives_per_node),
+        shards_per_drive=args.shards_per_drive,
+    )
+    engines = build_fleet(weights, topology.total_drives, config=config)
+    classes = _parse_qos_specs(args.qos)
+    autoscale = None if args.no_autoscale else AutoscalePolicy(
+        high_watermark=args.high_watermark, low_watermark=args.low_watermark,
+        sustain_rounds=args.sustain_rounds,
+        cooldown_rounds=args.cooldown_rounds,
+    )
+    plane = ControlPlane(
+        engines, topology,
+        ControlPlaneConfig(
+            round_us=args.round_us, classes=classes, autoscale=autoscale,
+            serving=ServingConfig(
+                max_batch=args.max_batch, max_wait_us=args.max_wait_us,
+                queue_depth=args.queue_depth,
+            ),
+            sessions=SessionConfig(
+                stride=args.stride,
+                memory_budget_bytes=int(args.memory_budget_mib * 2**20),
+                idle_after_steps=4,
+            ),
+            backend=getattr(args, "backend", None),
+            max_events_per_round=None,
+        ),
+        telemetry=getattr(args, "_telemetry", None),
+    )
+    if args.rolling_upgrade:
+        plane.start_rolling_upgrade()
+    rounds = generate_fleet_rounds(
+        classes, rounds=args.rounds, round_us=args.round_us,
+        streams_per_class=args.streams_per_class,
+        hot_per_class=args.hot_per_class,
+        registration_rounds=args.registration_rounds,
+        hot_rounds=args.hot_rounds, vocab_size=dims.vocab_size,
+        seed=args.seed,
+    )
+    for index, arrivals in enumerate(rounds):
+        if args.drain_drive is not None and index == (args.drain_round or 0):
+            migrated = plane.drain(args.drain_drive)
+            print(f"drained drive {args.drain_drive} at round {index}: "
+                  f"{migrated} sessions migrated")
+        plane.run_round(arrivals)
+    report = plane.finish()
+
+    print(f"topology: {args.racks} racks x {args.nodes_per_rack} nodes x "
+          f"{args.drives_per_node} drives "
+          f"({topology.initial_active_per_node} active/node at start, "
+          f"{topology.num_shards} shards)")
+    print(f"rounds: {report.rounds} x {args.round_us} us  "
+          f"tokens offered {report.tokens_offered}")
+    for qos in classes:
+        shed = report.tokens_shed.get(qos.name, {})
+        shed_text = (" shed " + ", ".join(f"{k}={v}" for k, v in sorted(shed.items()))
+                     if shed else "")
+        print(f"  class {qos.name} (priority {qos.priority}): "
+              f"streams {report.streams_admitted[qos.name]} admitted / "
+              f"{report.streams_denied[qos.name]} denied, tokens "
+              f"{report.tokens_admitted[qos.name]} admitted{shed_text}")
+    print(f"sessions: peak {report.peak_concurrent_sessions} concurrent "
+          f"(final {report.final_concurrent_sessions}), peak resident "
+          f"{report.peak_resident_bytes_per_drive} B/drive "
+          f"(budget {report.resident_budget_bytes} B, "
+          f"{'OK' if report.within_memory_budget else 'EXCEEDED'})")
+    if report.verdict_count:
+        print(f"verdicts: {report.verdict_count}  latency p50 "
+              f"{report.verdict_latency_percentile_us(50):.0f} us  p99 "
+              f"{report.verdict_latency_percentile_us(99):.0f} us")
+    scale_text = ", ".join(
+        f"r{e.round_index}:n{e.node}:{e.direction}" for e in report.scale_events
+    ) or "none"
+    print(f"autoscale events: {scale_text}  active drives at end: "
+          f"{report.active_drives}")
+    if report.drains or report.restores:
+        drain_text = ", ".join(f"{k}={v}" for k, v in sorted(report.drains.items()))
+        print(f"drains: {drain_text or 'none'}  restores: {report.restores}  "
+              f"shard moves: {report.shard_moves}  sessions migrated: "
+              f"{report.migrated_sessions}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -459,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report_command(subparsers)
     _add_monitor_command(subparsers)
     _add_fleet_serve_command(subparsers)
+    _add_control_plane_command(subparsers)
     return parser
 
 

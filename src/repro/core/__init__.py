@@ -10,6 +10,17 @@ from repro.core.config import (
     ModelDimensions,
     OptimizationLevel,
 )
+from repro.core.control_plane import (
+    AutoscalePolicy,
+    ControlPlane,
+    ControlPlaneConfig,
+    ControlPlaneReport,
+    QosClass,
+    ScaleEvent,
+    ShardRouter,
+    TopologySpec,
+    generate_fleet_rounds,
+)
 from repro.core.engine import CSDInferenceEngine, InferenceResult, engine_at_level
 from repro.core.fleet import FleetPlan, FleetPlanner, MonitoredStream
 from repro.core.serving import (
@@ -49,8 +60,12 @@ from repro.core.timing import (
 from repro.core.weights import HostWeights, QuantizedHostWeights
 
 __all__ = [
+    "AutoscalePolicy",
     "CSDInferenceEngine",
     "CompletedRequest",
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "ControlPlaneReport",
     "EngineConfig",
     "FleetPlan",
     "FleetPlanner",
@@ -66,7 +81,9 @@ __all__ = [
     "MonitoredStream",
     "OptimizationLevel",
     "PolicyEvaluation",
+    "QosClass",
     "QuantizedHostWeights",
+    "ScaleEvent",
     "ServingConfig",
     "ServingReport",
     "ServingRequest",
@@ -75,13 +92,16 @@ __all__ = [
     "SessionManager",
     "SessionServingReport",
     "SessionVerdict",
+    "ShardRouter",
     "StreamSession",
     "StreamVerdictRecord",
     "StreamingReport",
     "ThroughputReport",
+    "TopologySpec",
     "TokenArrival",
     "build_fleet",
     "engine_at_level",
+    "generate_fleet_rounds",
     "evaluate_policy",
     "generate_token_workload",
     "generate_workload",

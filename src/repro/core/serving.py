@@ -239,7 +239,12 @@ class TokenArrival:
 
 @dataclasses.dataclass(frozen=True)
 class StreamVerdictRecord:
-    """A window verdict emitted by the session-mode fleet."""
+    """A window verdict emitted by the session-mode fleet.
+
+    ``latency_us`` is arrival → delivery for the token that completed
+    the window (-1 when the completing token is unknown, which only
+    happens for records built by hand).
+    """
 
     stream: str
     window_index: int
@@ -247,6 +252,7 @@ class StreamVerdictRecord:
     is_ransomware: bool
     device: int
     completion_us: int
+    latency_us: int = -1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -276,6 +282,13 @@ class SessionServingReport:
         """Nearest-rank percentile of per-token serving latency."""
         return nearest_rank_percentile(
             np.array(self.token_latencies, dtype=np.int64), percentile
+        )
+
+    def verdict_latency_percentile_us(self, percentile: float) -> float:
+        """Nearest-rank percentile of per-verdict delivery latency."""
+        return nearest_rank_percentile(
+            np.array([v.latency_us for v in self.verdicts], dtype=np.int64),
+            percentile,
         )
 
     def device_utilization(self) -> tuple:
@@ -328,6 +341,7 @@ class _Device:
         "index", "engine", "fault_plan", "service_us", "queue", "busy",
         "dead", "current_batch", "batch_start_us", "busy_us", "batches",
         "pending_task", "sessions", "token_buffer", "current_tick",
+        "buffer_streams", "wake_at",
     )
 
     def __init__(self, index: int, engine, fault_plan: FaultPlan):
@@ -345,6 +359,8 @@ class _Device:
         self.pending_task = None    # (batch_id, WorkerPool handle)
         self.sessions = None        # SessionManager (session mode only)
         self.token_buffer: list = []
+        self.buffer_streams: dict = {}  # stream -> buffered-token count
+        self.wake_at = None         # armed flush deadline, if any
         self.current_tick = None    # (tick_id, [TokenArrival], [verdicts])
 
 
@@ -388,6 +404,20 @@ class FleetServer:
         :func:`build_fleet` builds).  Per-engine ``csd.*`` span trees
         and ``sequences_processed`` stay with the workers in this mode;
         metrics merge exactly (see ``docs/performance.md``).
+    router:
+        Optional callable ``stream_name -> device index | None``.  When
+        given it replaces the static stream→device dict for every
+        routing decision (arrivals, failover re-buffering), which is how
+        the control plane implements shard-affine routing over a stream
+        population that is not known up front (see
+        ``docs/control_plane.md``).  The callable must be deterministic.
+    on_device_failed:
+        Optional callable ``device_index -> None`` invoked when a fault
+        plan kills a device *before* its sessions migrate.  With a
+        ``router`` this replaces the built-in rerouting: the callback
+        owner (the control plane) reassigns the dead device's shards so
+        the subsequent checkpoint migration lands per its placement
+        policy.
     """
 
     def __init__(
@@ -399,6 +429,8 @@ class FleetServer:
         fault_plans: dict | None = None,
         telemetry=None,
         workers: int = 0,
+        router=None,
+        on_device_failed=None,
     ):
         engines = list(engines)
         if not engines:
@@ -421,6 +453,10 @@ class FleetServer:
         self.streams = list(streams)
         self.planner = planner
         self.telemetry = telemetry
+        self._router = router
+        self._on_device_failed = on_device_failed
+        if router is not None and planner is not None:
+            raise ValueError("router and planner are mutually exclusive")
         fault_plans = fault_plans or {}
         self.devices = [
             _Device(i, engine, fault_plans.get(i, FaultPlan()))
@@ -450,7 +486,7 @@ class FleetServer:
         self._batch_counter = 0
         self._pool = None  # live only inside serve() when workers > 1
 
-        # Session (token-stream) mode state; populated by serve_tokens().
+        # Session (token-stream) mode state; populated by begin_tokens().
         self._token_mode = False
         self._tokens_offered = 0
         self._tokens_shed: dict = {}
@@ -459,6 +495,8 @@ class FleetServer:
         self._migrated_sessions = 0
         self._tick_counter = 0
         self._token_step_us: dict = {}
+        self._session_config: SessionConfig | None = None
+        self._session_backend: str | None = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -494,6 +532,12 @@ class FleetServer:
         device = self.devices[index]
         return None if device.dead else device
 
+    def _route(self, stream: str) -> "_Device | None":
+        """Resolve a stream to its healthy device (router or static dict)."""
+        if self._router is not None:
+            return self._routable_device(self._router(stream))
+        return self._routable_device(self._stream_device.get(stream))
+
     def _healthy_devices(self, exclude: int | None = None) -> list:
         devices = [d for d in self.devices if not d.dead and d.index != exclude]
         if not devices:  # fall back to the excluded device if it is all we have
@@ -524,7 +568,7 @@ class FleetServer:
         if self.telemetry is not None:
             self.telemetry.counter("repro_serve_requests_total").inc()
         self._log("arrival", request=request.request_id, stream=request.stream)
-        device = self._routable_device(self._stream_device.get(request.stream))
+        device = self._route(request.stream)
         if device is None:
             self._shed_request(request, SHED_NO_DEVICE)
             return
@@ -692,7 +736,11 @@ class FleetServer:
         if self.telemetry is not None:
             self.telemetry.counter("repro_serve_device_failures_total").inc()
         self._log("device_failed", device=device.index)
-        self._reroute_after_failure(device.index)
+        if self._router is not None:
+            if self._on_device_failed is not None:
+                self._on_device_failed(device.index)
+        else:
+            self._reroute_after_failure(device.index)
         if device.sessions is not None:
             self._failover_sessions(device)
             return
@@ -746,7 +794,7 @@ class FleetServer:
 
     def _token_arrive(self, arrival: TokenArrival) -> None:
         self._tokens_offered += 1
-        device = self._routable_device(self._stream_device.get(arrival.stream))
+        device = self._route(arrival.stream)
         if device is None:
             self._shed_token(arrival, SHED_NO_DEVICE)
             return
@@ -757,6 +805,8 @@ class FleetServer:
             self._shed_token(arrival, SHED_QUEUE_FULL)
             return
         device.token_buffer.append((self._sim.now, arrival))
+        streams = device.buffer_streams
+        streams[arrival.stream] = streams.get(arrival.stream, 0) + 1
         self._maybe_flush_tokens(device)
 
     def _shed_token(self, arrival: TokenArrival, reason: str) -> None:
@@ -774,14 +824,22 @@ class FleetServer:
         if device.dead or device.busy or not device.token_buffer:
             return
         now = self._sim.now
-        distinct = len({entry[1].stream for entry in device.token_buffer})
+        distinct = len(device.buffer_streams)
         oldest_wait = now - device.token_buffer[0][0]
         if (distinct >= self.config.max_batch
                 or oldest_wait >= self.config.max_wait_us):
             self._execute_tick(device)
             return
         wake_at = device.token_buffer[0][0] + self.config.max_wait_us
-        self._sim.schedule(wake_at - now, lambda: self._maybe_flush_tokens(device))
+        if device.wake_at != wake_at:
+            # One armed wake per buffer head: re-arming on every arrival
+            # would schedule O(buffer) no-op events per tick.
+            device.wake_at = wake_at
+            self._sim.schedule(wake_at - now, lambda: self._token_wake(device))
+
+    def _token_wake(self, device: _Device) -> None:
+        device.wake_at = None
+        self._maybe_flush_tokens(device)
 
     def _execute_tick(self, device: _Device) -> None:
         """Step one buffered token per stream through the session manager.
@@ -805,6 +863,14 @@ class FleetServer:
                 tick_tokens[arrival.stream] = arrival.token
                 tick_arrivals.append(arrival)
         device.token_buffer = rest
+        device.wake_at = None
+        streams = device.buffer_streams
+        for stream in tick_tokens:
+            remaining = streams[stream] - 1
+            if remaining:
+                streams[stream] = remaining
+            else:
+                del streams[stream]
         rows_before = device.sessions.stats()["slot_steps"]
         verdicts = device.sessions.step(tick_tokens)
         rows = device.sessions.stats()["slot_steps"] - rows_before
@@ -844,8 +910,10 @@ class FleetServer:
     def _deliver_tick(self, device: _Device, tick_id: int, arrivals: list,
                       verdicts: list, aborted: bool = False) -> None:
         now = self._sim.now
+        arrived_at: dict = {}
         for arrival in arrivals:
             self._token_latencies.append(now - arrival.arrival_us)
+            arrived_at[arrival.stream] = arrival.arrival_us
         for verdict in verdicts:
             self._verdict_records.append(StreamVerdictRecord(
                 stream=verdict.session,
@@ -854,6 +922,7 @@ class FleetServer:
                 is_ransomware=verdict.is_ransomware,
                 device=device.index,
                 completion_us=now,
+                latency_us=now - arrived_at.get(verdict.session, now),
             ))
         self._log(
             "tick_complete", tick=tick_id, device=device.index,
@@ -879,7 +948,7 @@ class FleetServer:
                                aborted=True)
         migrated = 0
         for key in device.sessions.known_keys():
-            target = self._routable_device(self._stream_device.get(key))
+            target = self._route(key)
             if target is None or target.sessions is None:
                 continue
             target.sessions.import_checkpoint(
@@ -890,12 +959,93 @@ class FleetServer:
         self._log("sessions_migrated", device=device.index, count=migrated)
         buffered = device.token_buffer
         device.token_buffer = []
+        device.buffer_streams = {}
+        device.wake_at = None
         for _, arrival in buffered:
-            target = self._routable_device(self._stream_device.get(arrival.stream))
+            target = self._route(arrival.stream)
             if target is None:
                 self._shed_token(arrival, SHED_NO_DEVICE)
                 continue
             self._buffer_token(target, arrival)
+
+    def begin_tokens(self, sessions: SessionConfig | None = None,
+                     backend: str | None = None) -> None:
+        """Enter session (token-stream) mode without running anything yet.
+
+        Gives every device a fresh
+        :class:`~repro.core.sessions.SessionManager` and schedules the
+        fault plans.  Pair with :meth:`ingest_tokens` /
+        :meth:`run_tokens_until` to step the simulation in bounded
+        rounds (the control plane's loop), and :meth:`finish_tokens` to
+        drain the queue and build the report.  :meth:`serve_tokens` is
+        exactly this sequence in one call.
+        """
+        if self._token_mode:
+            raise RuntimeError("token mode already begun")
+        self._token_mode = True
+        self._session_config = sessions or SessionConfig()
+        self._session_backend = backend
+        for device in self.devices:
+            device.sessions = SessionManager(
+                device.engine, self._session_config, backend=backend
+            )
+        for device in self.devices:
+            fail = device.fault_plan.device_fail
+            if fail is not None:
+                self._sim.schedule(
+                    fail.at_us, (lambda d: lambda: self._fail_device(d))(device)
+                )
+
+    def ingest_tokens(self, arrivals) -> int:
+        """Schedule token arrivals (each at or after the current clock)."""
+        if not self._token_mode:
+            raise RuntimeError("call begin_tokens first")
+        now = self._sim.now
+        count = 0
+        for arrival in arrivals:
+            if arrival.arrival_us < now:
+                raise ValueError(
+                    f"arrival at {arrival.arrival_us}us is in the past "
+                    f"(now={now}us)"
+                )
+            self._sim.schedule(
+                arrival.arrival_us - now,
+                (lambda a: lambda: self._token_arrive(a))(arrival),
+            )
+            count += 1
+        return count
+
+    def run_tokens_until(self, until_us: int | None = None,
+                         max_events: int | None = None) -> int:
+        """Fire queued events up to ``until_us``; returns the clock."""
+        if not self._token_mode:
+            raise RuntimeError("call begin_tokens first")
+        return self._sim.run(max_events=max_events, until=until_us)
+
+    def finish_tokens(self, max_events: int | None = 1_000_000
+                      ) -> SessionServingReport:
+        """Drain remaining events and build the session-mode report."""
+        if not self._token_mode:
+            raise RuntimeError("call begin_tokens first")
+        duration = self._sim.run(max_events=max_events)
+        if self.telemetry is not None:
+            horizon = max(duration, 1)
+            for device in self.devices:
+                self.telemetry.gauge(
+                    "repro_serve_device_utilization", device=device.index
+                ).set(device.busy_us / horizon)
+        return SessionServingReport(
+            verdicts=tuple(self._verdict_records),
+            tokens_offered=self._tokens_offered,
+            tokens_shed=dict(self._tokens_shed),
+            migrated_sessions=self._migrated_sessions,
+            device_failures=self._device_failures,
+            event_log=tuple(self._events),
+            duration_us=duration,
+            device_busy_us=tuple(d.busy_us for d in self.devices),
+            token_latencies=tuple(self._token_latencies),
+            session_stats=tuple(d.sessions.stats() for d in self.devices),
+        )
 
     def serve_tokens(self, arrivals,
                      sessions: SessionConfig | None = None,
@@ -915,43 +1065,132 @@ class FleetServer:
         configured backend.  Checkpoint migration between devices is
         backend-neutral, so mixed fleets stay bit-exact.
         """
-        session_config = sessions or SessionConfig()
-        self._token_mode = True
-        for device in self.devices:
+        self.begin_tokens(sessions=sessions, backend=backend)
+        self.ingest_tokens(sorted(arrivals, key=lambda a: (a.arrival_us, a.stream)))
+        return self.finish_tokens()
+
+    @property
+    def clock_us(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._sim.now
+
+    @property
+    def session_verdicts(self) -> list:
+        """Live list of delivered :class:`StreamVerdictRecord` (read-only).
+
+        Incremental callers (the control plane) slice from their last
+        cursor instead of waiting for :meth:`finish_tokens`; treat the
+        list as append-only.
+        """
+        return self._verdict_records
+
+    # ------------------------------------------------------------------
+    # Session-mode fleet membership (drain / standby / rebalance)
+    # ------------------------------------------------------------------
+
+    def drain_device(self, index: int) -> int:
+        """Gracefully take a session-mode device out of service.
+
+        The same state hand-off as a failure — the in-flight tick's
+        verdicts deliver (the step ran at launch), every held session
+        migrates as a checkpoint to its re-routed device, buffered
+        tokens re-buffer in order — but counted as a drain, not a
+        failure.  The caller must re-route the device's streams *first*
+        (reassign its shards, or rely on the planner-less round-robin by
+        calling with the static dict in place).  Returns the number of
+        sessions migrated.
+        """
+        device = self.devices[index]
+        if device.dead:
+            return 0
+        if device.sessions is None:
+            raise RuntimeError("drain_device requires session (token) mode")
+        device.dead = True
+        self._log("device_drained", device=device.index)
+        if self._router is None:
+            self._reroute_after_failure(device.index)
+        before = self._migrated_sessions
+        self._failover_sessions(device)
+        return self._migrated_sessions - before
+
+    def deactivate_device(self, index: int) -> None:
+        """Hold an *empty* device out of service (autoscaling standby)."""
+        device = self.devices[index]
+        if device.dead:
+            return
+        if device.sessions is not None and device.sessions.known_keys():
+            raise RuntimeError(
+                "deactivate_device requires an empty device; use drain_device"
+            )
+        device.dead = True
+        self._log("device_standby", device=device.index)
+
+    def restore_device(self, index: int) -> None:
+        """Return a drained/standby device to service, state reset.
+
+        In session mode the device comes back with a fresh
+        :class:`~repro.core.sessions.SessionManager` (post-upgrade, a
+        real drive boots empty); the caller routes shards back to it.
+        """
+        device = self.devices[index]
+        if not device.dead:
+            return
+        device.dead = False
+        device.busy = False
+        device.current_tick = None
+        device.token_buffer = []
+        device.buffer_streams = {}
+        device.wake_at = None
+        if self._token_mode:
             device.sessions = SessionManager(
-                device.engine, session_config, backend=backend
+                device.engine, self._session_config,
+                backend=self._session_backend,
             )
-        arrivals = sorted(arrivals, key=lambda a: (a.arrival_us, a.stream))
-        for device in self.devices:
-            fail = device.fault_plan.device_fail
-            if fail is not None:
-                self._sim.schedule(
-                    fail.at_us, (lambda d: lambda: self._fail_device(d))(device)
-                )
-        for arrival in arrivals:
-            self._sim.schedule(
-                arrival.arrival_us,
-                (lambda a: lambda: self._token_arrive(a))(arrival),
-            )
-        duration = self._sim.run()
-        if self.telemetry is not None:
-            horizon = max(duration, 1)
-            for device in self.devices:
-                self.telemetry.gauge(
-                    "repro_serve_device_utilization", device=device.index
-                ).set(device.busy_us / horizon)
-        return SessionServingReport(
-            verdicts=tuple(self._verdict_records),
-            tokens_offered=self._tokens_offered,
-            tokens_shed=dict(self._tokens_shed),
-            migrated_sessions=self._migrated_sessions,
-            device_failures=self._device_failures,
-            event_log=tuple(self._events),
-            duration_us=duration,
-            device_busy_us=tuple(d.busy_us for d in self.devices),
-            token_latencies=tuple(self._token_latencies),
-            session_stats=tuple(d.sessions.stats() for d in self.devices),
-        )
+        self._log("device_restored", device=device.index)
+
+    def migrate_streams(self, from_index: int, to_index: int, streams) -> int:
+        """Move live session state + buffered tokens between healthy devices.
+
+        The shard-rebalancing primitive: unlike the failure/drain paths
+        the source stays in service, so sessions are *released* (moved,
+        counted ``migrated``) rather than copied.  The caller must have
+        re-routed ``streams`` to ``to_index`` already.  Returns the
+        number of sessions moved.
+        """
+        source = self.devices[from_index]
+        target = self.devices[to_index]
+        if source.sessions is None or target.sessions is None:
+            raise RuntimeError("migrate_streams requires session (token) mode")
+        if target.dead:
+            raise ValueError(f"target device {to_index} is out of service")
+        wanted = set(streams)
+        moved = 0
+        for key in source.sessions.known_keys():
+            if key in wanted:
+                target.sessions.import_checkpoint(source.sessions.release(key))
+                moved += 1
+        if moved:
+            self._migrated_sessions += moved
+            self._log("sessions_migrated", device=from_index, count=moved,
+                      target=to_index)
+        if wanted & source.buffer_streams.keys():
+            keep: list = []
+            moving: list = []
+            for entry in source.token_buffer:
+                if entry[1].stream in wanted:
+                    moving.append(entry)
+                else:
+                    keep.append(entry)
+            source.token_buffer = keep
+            source.wake_at = None
+            counts: dict = {}
+            for entry in keep:
+                stream = entry[1].stream
+                counts[stream] = counts.get(stream, 0) + 1
+            source.buffer_streams = counts
+            for _, arrival in moving:
+                self._buffer_token(target, arrival)
+        return moved
 
     # ------------------------------------------------------------------
     # Entry point

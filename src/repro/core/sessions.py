@@ -919,6 +919,22 @@ class SessionManager:
             raise ValueError(f"session {checkpoint.key!r} is already resident")
         self._store_checkpoint(checkpoint)
 
+    def release(self, key) -> SessionCheckpoint:
+        """Export ``key`` and drop every local copy; counted ``migrated``.
+
+        The live-migration primitive: hand the returned checkpoint to
+        another manager's :meth:`import_checkpoint` and the session has
+        *moved* (unlike :meth:`export_checkpoint`, which copies).  Used
+        by shard rebalancing, where the source device stays in service.
+        """
+        checkpoint = self.export_checkpoint(key)
+        session = self._resident.pop(key, None)
+        if session is not None:
+            session.release_slots()
+        self._pop_checkpoint(key)
+        self._count_eviction(EVICT_MIGRATED)
+        return checkpoint
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------

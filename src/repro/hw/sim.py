@@ -44,19 +44,30 @@ class Simulator:
             raise ValueError(f"delay must be non-negative, got {delay}")
         heapq.heappush(self._queue, (self.now + delay, next(self._counter), action))
 
-    def run(self, max_events: int = 1_000_000) -> int:
+    def run(self, max_events: int | None = 1_000_000,
+            until: int | None = None) -> int:
         """Drain the queue; returns the final simulation time.
 
-        ``max_events`` guards against runaway self-scheduling models.
+        ``max_events`` guards against runaway self-scheduling models
+        (``None`` disables the guard — long-lived control-plane loops
+        legitimately fire many more events than a single serve run).
+        With ``until``, only events scheduled at or before that time
+        fire; the clock then advances to ``until`` and later events stay
+        queued for the next ``run`` call, which is what lets a caller
+        step the simulation in bounded rounds.
         """
         fired_before = self._fired
         while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
             self._fired += 1
-            if self._fired > max_events:
+            if max_events is not None and self._fired > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway model?")
             time, _, action = heapq.heappop(self._queue)
             self.now = time
             action()
+        if until is not None and until > self.now:
+            self.now = until
         if self.telemetry is not None:
             self.telemetry.counter("repro_sim_events_total").inc(
                 self._fired - fired_before

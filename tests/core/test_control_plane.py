@@ -1,0 +1,481 @@
+"""Hierarchical control plane: routing, QoS, autoscaling, drains.
+
+The behavioural contract under test is ``docs/control_plane.md``: shard
+routing is pure stream-name arithmetic, admission is per-class and
+sticky, overload sheds strictly lowest-priority-first, autoscaling
+honours sustain/cooldown hysteresis, and any sequence of drains or
+upgrades leaves per-stream verdict sequences bit-identical.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import EngineConfig, OptimizationLevel
+from repro.core.control_plane import (
+    AutoscalePolicy,
+    ControlPlane,
+    ControlPlaneConfig,
+    DENY_CLASS_CAP,
+    DRAIN_MANUAL,
+    DRAIN_SCALE_DOWN,
+    DRAIN_UPGRADE,
+    QosClass,
+    SCALE_DOWN,
+    SCALE_UP,
+    SHED_THROTTLED,
+    ShardRouter,
+    TopologySpec,
+    generate_fleet_rounds,
+    percentile_us,
+)
+from repro.core.serving import ServingConfig, TokenArrival, build_fleet
+from repro.core.sessions import SessionConfig
+from repro.core.weights import HostWeights
+from repro.nn.model import SequenceClassifier
+
+WINDOW = 8
+ROUND_US = 5_000
+
+_WEIGHTS = HostWeights.from_model(SequenceClassifier(seed=13))
+
+
+def make_engines(count):
+    dims = dataclasses.replace(_WEIGHTS.dimensions, sequence_length=WINDOW)
+    config = EngineConfig(
+        dimensions=dims, optimization=OptimizationLevel.FIXED_POINT
+    )
+    return build_fleet(_WEIGHTS, count, config=config)
+
+
+def make_plane(topology, *, classes=(QosClass("gold"),), autoscale=None,
+               drive_tokens_per_round=None, telemetry=None, classifier=None):
+    return ControlPlane(
+        make_engines(topology.total_drives),
+        topology,
+        ControlPlaneConfig(
+            round_us=ROUND_US,
+            drive_tokens_per_round=drive_tokens_per_round,
+            classes=classes,
+            autoscale=autoscale,
+            serving=ServingConfig(max_batch=64, max_wait_us=100,
+                                  queue_depth=4096),
+            sessions=SessionConfig(stride=WINDOW),
+        ),
+        classifier=classifier,
+        telemetry=telemetry,
+    )
+
+
+def round_arrivals(round_index, streams, tokens_per_stream=1):
+    """One round's arrivals: each stream sends N consecutive tokens."""
+    arrivals = []
+    base = round_index * ROUND_US
+    for position in range(tokens_per_stream):
+        for index, stream in enumerate(streams):
+            arrivals.append(TokenArrival(
+                stream=stream,
+                token=(round_index + index + position) % 50,
+                arrival_us=base + position * len(streams) + index,
+            ))
+    return arrivals
+
+
+class TestTopologySpec:
+    def test_counts_and_coordinates(self):
+        topology = TopologySpec(racks=2, nodes_per_rack=3, drives_per_node=4,
+                                active_per_node=2, shards_per_drive=4)
+        assert topology.total_nodes == 6
+        assert topology.total_drives == 24
+        assert topology.num_shards == 96
+        assert topology.initial_active_per_node == 2
+        # Drive 14: node 3 (rack 1), slot 2.
+        assert topology.node_of(14) == 3
+        assert topology.rack_of(14) == 1
+        assert topology.slot_of(14) == 2
+        assert topology.coord(14) == (1, 3, 2)
+        assert list(topology.drives_of_node(3)) == [12, 13, 14, 15]
+
+    def test_active_defaults_to_all(self):
+        topology = TopologySpec(drives_per_node=3)
+        assert topology.initial_active_per_node == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(racks=0)
+        with pytest.raises(ValueError):
+            TopologySpec(drives_per_node=2, active_per_node=3)
+
+
+class TestShardRouter:
+    def test_shard_of_is_deterministic_name_arithmetic(self):
+        router = ShardRouter(num_shards=16)
+        assert router.shard_of("gold-0001") == router.shard_of("gold-0001")
+        assert all(0 <= router.shard_of(f"s-{i}") < 16 for i in range(100))
+
+    def test_assignment_and_reverse_index(self):
+        router = ShardRouter(num_shards=4)
+        assert router.device_of("anything") is None
+        router.assign(0, 7)
+        router.assign(1, 7)
+        router.assign(2, 3)
+        assert router.primary(0) == 7
+        assert router.shards_on(7) == (0, 1)
+        router.assign(1, 3)  # move
+        assert router.shards_on(7) == (0,)
+        assert router.shards_on(3) == (1, 2)
+        router.assign(2, None)  # unplace
+        assert router.primary(2) is None
+        assert router.shards_on(3) == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_round_and_headroom(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(round_us=0)
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(headroom=0.0)
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(drive_tokens_per_round=0)
+
+    def test_rejects_duplicate_class_names(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(classes=(QosClass("a"), QosClass("a")))
+
+    def test_autoscale_policy_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(high_watermark=0.2, low_watermark=0.8)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(sustain_rounds=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(cooldown_rounds=-1)
+
+    def test_engine_count_must_match_topology(self):
+        topology = TopologySpec(drives_per_node=2)
+        with pytest.raises(ValueError):
+            ControlPlane(make_engines(3), topology)
+
+
+class TestAdmission:
+    def test_zero_capacity_class_admits_nothing(self):
+        topology = TopologySpec(drives_per_node=2)
+        plane = make_plane(
+            topology,
+            classes=(QosClass("gold", priority=1),
+                     QosClass("blocked", priority=0, max_streams=0)),
+        )
+        streams = [f"gold-{i:03d}" for i in range(6)]
+        blocked = [f"blocked-{i:03d}" for i in range(6)]
+        for round_index in range(2):
+            plane.run_round(round_arrivals(round_index, streams + blocked))
+        report = plane.finish()
+        assert report.streams_admitted["blocked"] == 0
+        assert report.streams_denied["blocked"] == 6
+        assert report.tokens_shed["blocked"][DENY_CLASS_CAP] == 12
+        assert report.streams_admitted["gold"] == 6
+        assert report.tokens_admitted["gold"] == 12
+        assert plane.concurrent_sessions() == 6
+
+    def test_class_cap_is_sticky_per_stream(self):
+        topology = TopologySpec(drives_per_node=2)
+        plane = make_plane(
+            topology, classes=(QosClass("gold", max_streams=3),)
+        )
+        streams = [f"gold-{i:03d}" for i in range(5)]
+        plane.run_round(round_arrivals(0, streams))
+        # Admitted streams keep flowing; denied streams stay denied even
+        # though the cap is no longer "reached first" this round.
+        plane.run_round(round_arrivals(1, streams))
+        report = plane.finish()
+        assert report.streams_admitted["gold"] == 3
+        assert report.streams_denied["gold"] == 2
+        assert report.tokens_admitted["gold"] == 6
+        assert report.tokens_shed["gold"][DENY_CLASS_CAP] == 4
+
+    def test_classifier_prefix_fallback(self):
+        topology = TopologySpec(drives_per_node=2)
+        plane = make_plane(
+            topology,
+            classes=(QosClass("default"), QosClass("gold", priority=1)),
+        )
+        assert plane.class_of("gold-0001") == "gold"
+        assert plane.class_of("unknownprefix-7") == "default"
+        assert plane.class_of("nodash") == "default"
+
+    def test_custom_classifier(self):
+        topology = TopologySpec(drives_per_node=2)
+        plane = make_plane(
+            topology,
+            classes=(QosClass("a"), QosClass("b")),
+            classifier=lambda stream: "b" if stream.endswith("7") else "a",
+        )
+        assert plane.class_of("stream-7") == "b"
+        assert plane.class_of("stream-8") == "a"
+
+
+class TestOverloadShedding:
+    def test_starvation_sheds_lowest_priority_first(self):
+        # One active drive, capacity 8 tokens/round; 8 gold + 8 bronze
+        # offered -> every bronze token sheds, every gold token lands.
+        topology = TopologySpec(drives_per_node=2, active_per_node=1)
+        plane = make_plane(
+            topology,
+            classes=(QosClass("gold", priority=2),
+                     QosClass("bronze", priority=0)),
+            drive_tokens_per_round=8,
+        )
+        gold = [f"gold-{i:03d}" for i in range(8)]
+        bronze = [f"bronze-{i:03d}" for i in range(8)]
+        for round_index in range(3):
+            plane.run_round(round_arrivals(round_index, gold + bronze))
+        report = plane.finish()
+        assert report.tokens_admitted["gold"] == 24
+        assert "gold" not in report.tokens_shed
+        assert report.tokens_shed["bronze"][SHED_THROTTLED] == 24
+        assert report.tokens_admitted["bronze"] == 0
+
+    def test_partial_shed_preserves_arrival_order(self):
+        # Capacity 12: all 8 gold + the 4 earliest bronze tokens pass.
+        topology = TopologySpec(drives_per_node=2, active_per_node=1)
+        plane = make_plane(
+            topology,
+            classes=(QosClass("gold", priority=2),
+                     QosClass("bronze", priority=0)),
+            drive_tokens_per_round=12,
+        )
+        gold = [f"gold-{i:03d}" for i in range(8)]
+        bronze = [f"bronze-{i:03d}" for i in range(8)]
+        plane.run_round(round_arrivals(0, gold + bronze))
+        report = plane.finish()
+        assert report.tokens_admitted["gold"] == 8
+        assert report.tokens_admitted["bronze"] == 4
+        assert report.tokens_shed["bronze"][SHED_THROTTLED] == 4
+        # The surviving bronze tokens registered sessions; the shed four
+        # never did (12 = 8 gold + 4 bronze).
+        assert plane.concurrent_sessions() == 12
+
+
+class TestDrainDeterminism:
+    SCENARIO = dict(rounds=10, round_us=ROUND_US, streams_per_class=300,
+                    hot_per_class=50, registration_rounds=4, hot_rounds=9)
+    CLASSES = (QosClass("gold", priority=2), QosClass("silver", priority=1),
+               QosClass("bronze", priority=0))
+
+    def _run(self, drains=()):
+        topology = TopologySpec(racks=1, nodes_per_rack=2, drives_per_node=3,
+                                active_per_node=2, shards_per_drive=4)
+        plane = make_plane(topology, classes=self.CLASSES)
+        rounds = generate_fleet_rounds(self.CLASSES, **self.SCENARIO)
+        drain_at = dict(drains)
+        for index, arrivals in enumerate(rounds):
+            if index in drain_at:
+                migrated = plane.drain(drain_at[index])
+                assert migrated > 0, "drained an idle drive; test is vacuous"
+            plane.run_round(arrivals)
+        return plane, plane.finish()
+
+    def test_drain_while_migrating_is_deterministic(self):
+        _, base = self._run()
+        plane, drained = self._run(drains=((3, 1), (6, 4)))
+        assert drained.migrated_sessions > 0
+        assert drained.drains == {DRAIN_MANUAL: 2}
+        assert drained.shard_moves > 0
+        assert 1 not in plane.active_drives
+        assert 4 not in plane.active_drives
+        # The contract: per-stream verdict sequences are bit-identical
+        # with and without the mid-run drains.
+        assert base.verdict_sequences() == drained.verdict_sequences()
+        assert base.verdict_count == drained.verdict_count > 0
+        # No session was lost in migration.
+        assert (base.final_concurrent_sessions
+                == drained.final_concurrent_sessions)
+
+    def test_same_seed_same_run_is_byte_identical(self):
+        _, first = self._run(drains=((3, 1),))
+        _, second = self._run(drains=((3, 1),))
+        assert first.verdict_sequences() == second.verdict_sequences()
+        assert first.serving.event_log == second.serving.event_log
+
+    def test_draining_inactive_drive_is_noop(self):
+        topology = TopologySpec(drives_per_node=3, active_per_node=2)
+        plane = make_plane(topology)
+        assert plane.drain(2) == 0  # slot 2 is standby
+        report = plane.finish()
+        assert report.drains == {}
+        with pytest.raises(ValueError):
+            plane_late = make_plane(topology)
+            plane_late.drain(99)
+
+
+class TestAutoscaling:
+    TOPOLOGY = TopologySpec(drives_per_node=2, active_per_node=1)
+    POLICY = AutoscalePolicy(high_watermark=0.75, low_watermark=0.25,
+                             sustain_rounds=2, cooldown_rounds=3)
+
+    def _plane(self):
+        return make_plane(self.TOPOLOGY, autoscale=self.POLICY,
+                          drive_tokens_per_round=10)
+
+    def test_flapping_load_never_scales(self):
+        # High/low alternation never sustains either watermark for the
+        # required 2 consecutive rounds -> zero scale events.
+        plane = self._plane()
+        busy = [f"gold-{i:03d}" for i in range(9)]   # util 0.9
+        calm = [f"gold-{i:03d}" for i in range(4)]   # util 0.4 (mid-band)
+        for round_index in range(12):
+            streams = busy if round_index % 2 == 0 else calm
+            plane.run_round(round_arrivals(round_index, streams))
+        report = plane.finish()
+        assert report.scale_events == ()
+        assert report.active_drives == 1
+
+    def test_sustained_overload_scales_up_once(self):
+        plane = self._plane()
+        busy = [f"gold-{i:03d}" for i in range(9)]
+        for round_index in range(8):
+            plane.run_round(round_arrivals(round_index, busy))
+        report = plane.finish()
+        ups = [e for e in report.scale_events if e.direction == SCALE_UP]
+        # The standby restores after 2 sustained rounds; with both
+        # drives active utilisation halves, so no further events fire
+        # even after the cooldown expires.
+        assert len(ups) == 1
+        assert ups[0].round_index == 1
+        assert ups[0].drive == 1
+        assert report.active_drives == 2
+
+    def test_cooldown_spaces_scale_downs(self):
+        topology = TopologySpec(drives_per_node=4, active_per_node=4)
+        plane = make_plane(topology, autoscale=self.POLICY,
+                           drive_tokens_per_round=10)
+        for round_index in range(9):
+            plane.run_round(())  # idle: utilisation 0 every round
+        report = plane.finish()
+        downs = [e for e in report.scale_events
+                 if e.direction == SCALE_DOWN]
+        # Sustain 2 -> first down at round 1; cooldown 3 -> rounds 5, 9
+        # would follow, but a node never drains its last drive.
+        assert [e.round_index for e in downs] == [1, 5]
+        # LIFO: the highest slot drains first.
+        assert [e.drive for e in downs] == [3, 2]
+        assert report.drains[DRAIN_SCALE_DOWN] == 2
+        assert report.active_drives == 2
+        gaps = [b.round_index - a.round_index
+                for a, b in zip(downs, downs[1:])]
+        assert all(gap > self.POLICY.cooldown_rounds for gap in gaps)
+
+    def test_scale_down_migrates_instead_of_dropping(self):
+        topology = TopologySpec(drives_per_node=2, active_per_node=2)
+        plane = make_plane(topology, autoscale=self.POLICY,
+                           drive_tokens_per_round=50)
+        streams = [f"gold-{i:03d}" for i in range(20)]
+        plane.run_round(round_arrivals(0, streams))
+        before = plane.concurrent_sessions()
+        for round_index in range(1, 4):
+            plane.run_round(())
+        report = plane.finish()
+        assert report.drains.get(DRAIN_SCALE_DOWN, 0) >= 1
+        assert plane.concurrent_sessions() == before == 20
+        assert report.final_concurrent_sessions == 20
+
+
+class TestRollingUpgrade:
+    CLASSES = (QosClass("gold", priority=1), QosClass("bronze", priority=0))
+    SCENARIO = dict(rounds=12, round_us=ROUND_US, streams_per_class=200,
+                    hot_per_class=40, registration_rounds=3, hot_rounds=11)
+
+    def _run(self, upgrade):
+        topology = TopologySpec(racks=1, nodes_per_rack=2, drives_per_node=2,
+                                active_per_node=2, shards_per_drive=4)
+        plane = make_plane(topology, classes=self.CLASSES)
+        queued = plane.start_rolling_upgrade() if upgrade else 0
+        active_counts = []
+        for arrivals in generate_fleet_rounds(self.CLASSES, **self.SCENARIO):
+            plane.run_round(arrivals)
+            active_counts.append(len(plane.active_drives))
+        return plane, plane.finish(), queued, active_counts
+
+    def test_upgrade_rolls_one_drive_at_a_time(self):
+        plane, report, queued, active_counts = self._run(upgrade=True)
+        assert queued == 4
+        assert plane.upgrade_complete
+        assert report.drains[DRAIN_UPGRADE] == 4
+        assert report.restores == 4
+        # Never more than one drive out of service.
+        assert min(active_counts) >= 3
+        assert len(plane.active_drives) == 4
+
+    def test_upgrade_preserves_verdict_sequences(self):
+        _, base, _, _ = self._run(upgrade=False)
+        _, upgraded, _, _ = self._run(upgrade=True)
+        assert upgraded.migrated_sessions > 0
+        assert base.verdict_sequences() == upgraded.verdict_sequences()
+        assert base.verdict_count > 0
+
+
+class TestReportAndWorkload:
+    def test_generate_fleet_rounds_is_deterministic(self):
+        classes = (QosClass("gold"),)
+        spec = dict(rounds=4, round_us=1000, streams_per_class=50,
+                    hot_per_class=10, seed=3)
+        first = [list(r) for r in generate_fleet_rounds(classes, **spec)]
+        second = [list(r) for r in generate_fleet_rounds(classes, **spec)]
+        assert first == second
+        assert sum(len(r) for r in first) > 0
+        flat = [a for r in first for a in r]
+        assert all(a.stream.startswith("gold-") for a in flat)
+
+    def test_report_accounting_is_consistent(self):
+        classes = (QosClass("gold", priority=1), QosClass("bronze"))
+        topology = TopologySpec(racks=1, nodes_per_rack=1, drives_per_node=2,
+                                active_per_node=2)
+        plane = make_plane(topology, classes=classes)
+        report = plane.run(generate_fleet_rounds(
+            classes, rounds=10, round_us=ROUND_US, streams_per_class=60,
+            hot_per_class=20, registration_rounds=2, hot_rounds=10,
+        ))
+        assert report.rounds == 10
+        assert report.duration_us == 10 * ROUND_US
+        assert len(report.round_summaries) == 10
+        admitted = sum(report.tokens_admitted.values())
+        shed = sum(n for reasons in report.tokens_shed.values()
+                   for n in reasons.values())
+        assert report.tokens_offered == admitted + shed
+        assert report.peak_concurrent_sessions >= report.final_concurrent_sessions
+        assert report.peak_concurrent_sessions == 120
+        assert report.within_memory_budget
+        assert report.verdict_count > 0
+        p50 = report.verdict_latency_percentile_us(50)
+        p99 = report.verdict_latency_percentile_us(99)
+        assert 0 <= p50 <= p99
+        sequences = report.verdict_sequences()
+        assert sequences and all(
+            isinstance(seq, tuple) for seq in sequences.values()
+        )
+
+    def test_percentile_us_nearest_rank(self):
+        assert percentile_us([1, 2, 3, 4], 50) == 2
+        assert percentile_us([1, 2, 3, 4], 99) == 4
+        assert percentile_us([], 99) == 0.0
+
+    def test_telemetry_mirrors_report_counters(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        classes = (QosClass("gold"),)
+        topology = TopologySpec(drives_per_node=2, active_per_node=2)
+        plane = make_plane(topology, classes=classes, telemetry=telemetry)
+        streams = [f"gold-{i:03d}" for i in range(10)]
+        for round_index in range(3):
+            plane.run_round(round_arrivals(round_index, streams))
+        report = plane.finish()
+        assert telemetry.counter("repro_cp_rounds_total").value == report.rounds
+        assert (telemetry.counter("repro_cp_tokens_admitted_total", qos="gold").value
+                == report.tokens_admitted["gold"])
+        assert (telemetry.counter("repro_cp_streams_admitted_total", qos="gold").value
+                == report.streams_admitted["gold"])
+        assert telemetry.gauge("repro_cp_concurrent_sessions").value == 10

@@ -41,7 +41,7 @@ class TestParser:
         text = parser.format_help()
         for command in (
             "dataset", "train", "evaluate", "scan", "report", "monitor",
-            "fleet-serve",
+            "fleet-serve", "control-plane",
         ):
             assert command in text
 
@@ -153,6 +153,42 @@ class TestFleetServeCommand:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "device failures" in output
+
+
+class TestControlPlaneCommand:
+    def test_runs_and_prints_operator_report(self, weights_path, capsys):
+        exit_code = main([
+            "control-plane", str(weights_path),
+            "--racks", "1", "--nodes-per-rack", "2", "--drives-per-node", "2",
+            "--active-per-node", "2", "--streams-per-class", "200",
+            "--hot-per-class", "40", "--rounds", "6",
+            "--qos", "gold=2", "--qos", "bronze=0:100",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "class gold" in output
+        assert "class bronze" in output
+        assert "denied" in output
+        assert "peak" in output
+
+    def test_rolling_upgrade_and_manual_drain(self, weights_path, capsys):
+        exit_code = main([
+            "control-plane", str(weights_path),
+            "--racks", "1", "--nodes-per-rack", "1", "--drives-per-node", "2",
+            "--streams-per-class", "100", "--hot-per-class", "20",
+            "--rounds", "6", "--no-autoscale",
+            "--drain-drive", "1", "--drain-round", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "drained drive 1 at round 2" in output
+        assert "drains:" in output
+
+    def test_bad_qos_spec_exits(self, weights_path):
+        with pytest.raises(SystemExit):
+            main([
+                "control-plane", str(weights_path), "--qos", "gold=high",
+            ])
 
 
 class TestReportCommand:
