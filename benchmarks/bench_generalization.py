@@ -1,0 +1,235 @@
+"""Leave-k-families-out generalisation across signal modalities.
+
+Drives :func:`repro.ransomware.generalization.evaluate_generalization` —
+the block-storage study's protocol (arXiv 2412.21084) — over the three
+signal sources (API calls, block I/O, filesystem events) and records the
+numbers the ROADMAP asks for:
+
+* **recall matrix**: held-out recall per (modality, family) — every
+  family held out exactly once across the fold partition;
+* **recall gap** per modality and OptimizationLevel: in-distribution
+  recall minus held-out recall, the headline generalisation number;
+* held-out AUC/precision against never-trained benign traffic.
+
+Writes ``BENCH_generalization.json``.  The document is a pure function
+of the seeded recipe — no wall-clock or host-dependent fields — so the
+committed file reproduces **bit-identically** from a fixed seed.
+Two entry points:
+
+* ``pytest benchmarks/bench_generalization.py`` — harness mode (small).
+* ``PYTHONPATH=src python benchmarks/bench_generalization.py [--quick]``
+  — standalone CLI (the CI generalization-smoke job runs ``--quick``;
+  the committed JSON is the full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.core.config import OptimizationLevel
+from repro.ransomware.generalization import (
+    GeneralizationConfig,
+    GeneralizationReport,
+    evaluate_generalization,
+)
+
+DEFAULT_OUTPUT = "BENCH_generalization.json"
+
+#: The committed full run: every modality, every family held out exactly
+#: once (5 leave-2-out folds), evaluated at every OptimizationLevel.
+FULL_CONFIG = GeneralizationConfig(
+    modalities=("api", "block_io", "filesystem"),
+    held_out_per_fold=2,
+    folds=None,
+    scale=0.04,
+    sequence_length=60,
+    seed=7,
+    epochs=10,
+    optimizations=(
+        OptimizationLevel.VANILLA,
+        OptimizationLevel.II_OPTIMIZED,
+        OptimizationLevel.FIXED_POINT,
+    ),
+)
+
+#: CI smoke: one fold (two held-out families) per modality, fewer
+#: epochs, FIXED_POINT only — seconds of wall time.
+QUICK_CONFIG = GeneralizationConfig(
+    modalities=("api", "block_io", "filesystem"),
+    held_out_per_fold=2,
+    folds=1,
+    scale=0.02,
+    sequence_length=60,
+    seed=7,
+    epochs=4,
+    optimizations=(OptimizationLevel.FIXED_POINT,),
+)
+
+
+def build_document(report: GeneralizationReport) -> dict:
+    """The JSON body: full report plus the headline summaries.
+
+    Deliberately excludes wall-clock and any other host-dependent value;
+    every field is a deterministic function of the config's seed.
+    """
+    primary = report.config.optimizations[0]
+    recall_matrix = {
+        result.modality: result.per_family_recall(primary)
+        for result in report.modalities
+    }
+    summary = {
+        result.modality: {
+            level.name: {
+                "held_out_recall": result.mean_held_out_recall(level),
+                "recall_gap": result.mean_recall_gap(level),
+                "held_out_auc": float(
+                    sum(f.level(level).held_out_auc for f in result.folds)
+                    / len(result.folds)
+                ),
+            }
+            for level in report.config.optimizations
+        }
+        for result in report.modalities
+    }
+    document = {"benchmark": "generalization"}
+    document.update(report.as_dict())
+    document["recall_matrix"] = recall_matrix
+    document["summary"] = summary
+    return document
+
+
+def _report_lines(document: dict, wall_seconds: float | None = None) -> list:
+    config = document["config"]
+    lines = [
+        f"leave-{config['held_out_per_fold']}-out, {config['folds']} fold(s), "
+        f"scale {config['scale']}, seed {config['seed']}, "
+        f"levels {', '.join(config['optimizations'])}"
+        + (f"  (wall {wall_seconds:.1f}s)" if wall_seconds is not None else ""),
+    ]
+    primary = config["optimizations"][0]
+    for modality, levels in sorted(document["summary"].items()):
+        row = levels[primary]
+        lines.append(
+            f"{modality:<11s} held-out recall {row['held_out_recall']:.3f}  "
+            f"gap {row['recall_gap']:+.3f}  "
+            f"held-out AUC {row['held_out_auc']:.3f}"
+        )
+    for modality, per_family in sorted(document["recall_matrix"].items()):
+        worst = min(per_family, key=per_family.get)
+        best = max(per_family, key=per_family.get)
+        lines.append(
+            f"{modality:<11s} per-family: worst {worst} "
+            f"{per_family[worst]:.3f}, best {best} {per_family[best]:.3f}"
+        )
+    return lines
+
+
+def _gate(document: dict, min_recall: float | None = None,
+          min_held_out_families: int = 2) -> tuple:
+    """Returns (ok, message) for the CI generalisation gate."""
+    held_out = {
+        family for fold in document["fold_sets"] for family in fold
+    }
+    if len(held_out) < min_held_out_families:
+        return False, (
+            f"FAIL: only {len(held_out)} held-out families "
+            f"(need >= {min_held_out_families})"
+        )
+    for modality, levels in document["summary"].items():
+        for level, row in levels.items():
+            for key in ("held_out_recall", "recall_gap", "held_out_auc"):
+                if not math.isfinite(row[key]):
+                    return False, (
+                        f"FAIL: {modality}/{level} {key} is not finite "
+                        f"({row[key]})"
+                    )
+    messages = [f"{len(held_out)} families held out; all gaps finite"]
+    if min_recall is not None:
+        primary = document["config"]["optimizations"][0]
+        for modality, levels in sorted(document["summary"].items()):
+            recall = levels[primary]["held_out_recall"]
+            if recall < min_recall:
+                return False, (
+                    f"FAIL: {modality} held-out recall {recall:.3f} "
+                    f"< floor {min_recall}"
+                )
+        messages.append(f"held-out recall >= {min_recall} in every modality")
+    return True, "; ".join(messages)
+
+
+# ----------------------------------------------------------------------
+# Harness mode
+# ----------------------------------------------------------------------
+
+
+def bench_generalization(benchmark, bench_telemetry):
+    from benchmarks.conftest import record_report
+
+    tiny = GeneralizationConfig(
+        modalities=("block_io", "filesystem"),
+        held_out_per_fold=2, folds=1, scale=0.02,
+        sequence_length=60, seed=7, epochs=3,
+        optimizations=(OptimizationLevel.FIXED_POINT,),
+    )
+    document = build_document(
+        benchmark.pedantic(
+            lambda: evaluate_generalization(tiny, telemetry=bench_telemetry),
+            rounds=1, iterations=1,
+        )
+    )
+    record_report(
+        "Generalisation: leave-k-families-out (tiny rung)",
+        _report_lines(document),
+    )
+    ok, message = _gate(document)
+    assert ok, message
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI (CI generalization smoke / the committed full run)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one-fold CI smoke instead of the full "
+                             "every-family-held-out run")
+    parser.add_argument("--assert-min-recall", type=float, default=None,
+                        metavar="R",
+                        help="exit non-zero unless every modality's "
+                             "held-out recall (primary level) reaches R")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"JSON result path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the recipe seed (changes the "
+                             "committed numbers — default keeps it)")
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    if args.seed is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, seed=args.seed)
+    start = time.perf_counter()
+    report = evaluate_generalization(config, progress=print)
+    wall_seconds = time.perf_counter() - start
+    document = build_document(report)
+    for line in _report_lines(document, wall_seconds):
+        print(line)
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    ok, message = _gate(document, min_recall=args.assert_min_recall)
+    print(message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

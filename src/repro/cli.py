@@ -20,7 +20,11 @@ Commands cover the operational loop a data-center operator would run:
 * ``control-plane`` — run the hierarchical rack/node/drive control
   plane (shard-affine routing, QoS admission, autoscaling, rolling
   drains) over a simulated fleet and print the operator report (see
-  ``docs/control_plane.md``).
+  ``docs/control_plane.md``);
+* ``generalize`` — leave-k-families-out evaluation across the API-call,
+  block-I/O, and filesystem signal modalities, reporting per-family
+  held-out recall and the in-distribution-vs-held-out recall gap (see
+  ``docs/generalization.md``).
 
 The global ``--telemetry <path>`` flag (before the subcommand) records
 structured telemetry — counters, latency histograms, and kernel-level
@@ -608,6 +612,81 @@ def _run_control_plane(args) -> int:
     return 0
 
 
+def _add_generalize_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generalize",
+        help="leave-k-families-out evaluation across signal modalities",
+    )
+    parser.add_argument(
+        "--modalities", default="api,block_io,filesystem",
+        help="comma-separated modality names (default: all three)")
+    parser.add_argument("--held-out", type=int, default=2, metavar="K",
+                        help="families held out per fold (default 2)")
+    parser.add_argument("--folds", type=int, default=None,
+                        help="number of folds (default: every family "
+                             "held out exactly once)")
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="dataset scale per modality (default 0.04)")
+    parser.add_argument("--sequence-length", type=int, default=60)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--threshold", type=float, default=0.5)
+    parser.add_argument("--optimization", action="append", default=None,
+                        choices=[l.name for l in OptimizationLevel],
+                        help="engine rung(s) to evaluate at (repeatable; "
+                             "default FIXED_POINT)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full report as JSON to PATH")
+    parser.set_defaults(handler=_run_generalize)
+
+
+def _run_generalize(args) -> int:
+    import json
+
+    from repro.ransomware.generalization import (
+        GeneralizationConfig,
+        evaluate_generalization,
+    )
+
+    modalities = tuple(m.strip() for m in args.modalities.split(",") if m.strip())
+    levels = tuple(
+        OptimizationLevel[name]
+        for name in (args.optimization or ["FIXED_POINT"])
+    )
+    config = GeneralizationConfig(
+        modalities=modalities,
+        held_out_per_fold=args.held_out,
+        folds=args.folds,
+        scale=args.scale,
+        sequence_length=args.sequence_length,
+        seed=args.seed,
+        threshold=args.threshold,
+        optimizations=levels,
+        epochs=args.epochs,
+        workers=max(1, getattr(args, "workers", 1)),
+    )
+    report = evaluate_generalization(
+        config, telemetry=getattr(args, "_telemetry", None), progress=print
+    )
+    primary = levels[0]
+    print()
+    print(f"leave-{args.held_out}-out over {len(report.fold_sets)} fold(s); "
+          f"recall gap = in-distribution recall - held-out recall "
+          f"at {primary.name}:")
+    for result in report.modalities:
+        print(f"  {result.modality:<11s} (vocab {result.vocabulary_size:>3d}): "
+              f"held-out recall {result.mean_held_out_recall(primary):.3f}  "
+              f"gap {result.mean_recall_gap(primary):+.3f}")
+        for family, recall in result.per_family_recall(primary).items():
+            print(f"    {family:<12s} {recall:.3f}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -641,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor_command(subparsers)
     _add_fleet_serve_command(subparsers)
     _add_control_plane_command(subparsers)
+    _add_generalize_command(subparsers)
     return parser
 
 

@@ -103,12 +103,26 @@ class Dataset:
         """Leakage-free split: held-out families/applications.
 
         Stricter than the paper's shuffled-window split; used by the
-        generalisation ablation.
+        generalisation harness.
+
+        Raises
+        ------
+        ValueError
+            If ``test_sources`` is empty, names a source absent from the
+            dataset, or would leave either side of the split empty — any
+            of which silently degenerates the downstream evaluation.
         """
         test_sources = set(test_sources)
-        unknown = test_sources - set(self.sources)
+        if not test_sources:
+            raise ValueError("test_sources is empty: no held-out split to form")
+        present = set(self.sources)
+        unknown = test_sources - present
         if unknown:
             raise ValueError(f"unknown sources: {sorted(unknown)}")
+        if not present - test_sources:
+            raise ValueError(
+                "test_sources covers every source: training side would be empty"
+            )
         test_mask = np.array([source in test_sources for source in self.sources])
         return self.subset(np.flatnonzero(~test_mask)), self.subset(np.flatnonzero(test_mask))
 
@@ -140,7 +154,13 @@ def extract_windows(
     """
     if length < 1 or count < 1:
         raise ValueError("length and count must be positive")
-    token_ids = encode(trace.calls)
+    pre_encoded = getattr(trace, "token_ids", None)
+    if pre_encoded is not None:
+        # Trace-adapter output (repro.ransomware.traces) arrives already
+        # quantised; API traces carry call names and encode here.
+        token_ids = list(pre_encoded)
+    else:
+        token_ids = encode(trace.calls)
     available = len(token_ids) - length
     if available < 0 or (count > 1 and available < count - 1):
         raise ValueError(

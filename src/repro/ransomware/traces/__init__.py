@@ -1,0 +1,73 @@
+"""Trace front-ends: alternative signal sources for the same detector.
+
+The paper detects ransomware from API-call sequences alone.  Two strands
+of follow-up work argue for richer, host-independent signals feeding the
+*same* model: IBM's block-storage generalizability study (arXiv
+2412.21084) trains on block-level I/O features because API hooks do not
+exist inside a drive, and SHIELD (arXiv 2501.16619) shows deep
+filesystem features carry family-transferable structure.  This package
+adds both as synthetic *trace front-ends*:
+
+* :mod:`repro.ransomware.traces.block_io` — block-I/O traces (LBA
+  deltas, read/write mix, per-extent payload-entropy proxies) with a
+  deterministic per-family profile model derived from
+  :mod:`repro.ransomware.families`;
+* :mod:`repro.ransomware.traces.filesystem` — filesystem-event traces
+  (open/rename/write/delete bursts, extension churn) from the same
+  profiles;
+* :mod:`repro.ransomware.traces.adapters` — quantisation of both signal
+  types into per-modality token vocabularies, plus dataset builders that
+  mirror :func:`repro.ransomware.dataset.build_dataset`.
+
+Every modality produces plain token sequences, so the embedding+LSTM
+serving stack — :class:`~repro.core.engine.CSDInferenceEngine`,
+:class:`~repro.core.sessions.SessionManager`, and
+:meth:`~repro.core.serving.FleetServer.serve_tokens` — serves all three
+unchanged; only the vocabulary size (and therefore the trained weights)
+differs.  The leave-k-families-out harness over these modalities lives
+in :mod:`repro.ransomware.generalization`.
+"""
+
+from __future__ import annotations
+
+from repro.ransomware.traces.adapters import (
+    BLOCK_IO_VOCABULARY,
+    FILESYSTEM_VOCABULARY,
+    MODALITIES,
+    Modality,
+    TokenTrace,
+    TraceVocabulary,
+    build_block_io_dataset,
+    build_filesystem_dataset,
+    tokenize_block_trace,
+    tokenize_filesystem_trace,
+)
+from repro.ransomware.traces.block_io import (
+    BlockIoEvent,
+    BlockIoSynthesizer,
+    BlockIoTrace,
+)
+from repro.ransomware.traces.filesystem import (
+    FsEvent,
+    FsEventSynthesizer,
+    FsEventTrace,
+)
+
+__all__ = [
+    "BLOCK_IO_VOCABULARY",
+    "FILESYSTEM_VOCABULARY",
+    "MODALITIES",
+    "Modality",
+    "TokenTrace",
+    "TraceVocabulary",
+    "BlockIoEvent",
+    "BlockIoSynthesizer",
+    "BlockIoTrace",
+    "FsEvent",
+    "FsEventSynthesizer",
+    "FsEventTrace",
+    "build_block_io_dataset",
+    "build_filesystem_dataset",
+    "tokenize_block_trace",
+    "tokenize_filesystem_trace",
+]

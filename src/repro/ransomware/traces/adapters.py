@@ -1,0 +1,370 @@
+"""Trace adapters: quantise block-I/O and filesystem traces into tokens.
+
+The serving stack consumes integer token sequences; a modality is
+nothing more than a vocabulary plus a tokenizer.  This module quantises
+both new signal sources into small, fixed vocabularies:
+
+* **block-I/O** — each request becomes one token encoding the operation,
+  the LBA *delta class* relative to the previous request's end
+  (sequential / small or far jump, forward or backward), the transfer
+  *size class*, and — for writes — the inline payload-entropy class.
+  The ransomware signature (``read extent → overwrite in place at
+  near-maximal entropy → trim``) survives quantisation as a distinctive
+  token trigram.
+* **filesystem** — each event becomes one token encoding the operation
+  and the file's extension class; renames encode the ``(from, to)``
+  extension pair, so ``doc → crypt`` churn is a single, very loud token.
+
+Both tokenizers are stateless functions of the trace (the block-I/O one
+carries only the previous-request cursor), so equal traces always yield
+equal token sequences.  :data:`MODALITIES` registers all three signal
+sources — including the paper's API-call modality — behind one
+``build_dataset``-shaped entry point for the generalisation harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.ransomware.api_vocabulary import API_NAMES, VOCABULARY_SIZE
+from repro.ransomware.benign import ALL_BENIGN_PROFILES
+from repro.ransomware.dataset import (
+    DEFAULT_STRIDE,
+    PAPER_BENIGN_SEQUENCES,
+    PAPER_RANSOMWARE_SEQUENCES,
+    PAPER_SEQUENCE_LENGTH,
+    Dataset,
+    _distribute,
+    build_dataset,
+    extract_windows,
+)
+from repro.ransomware.families import ALL_FAMILIES
+from repro.ransomware.traces.block_io import (
+    BlockIoSynthesizer,
+    BlockIoTrace,
+)
+from repro.ransomware.traces.filesystem import (
+    EXTENSIONS,
+    FS_OPS,
+    FsEventSynthesizer,
+    FsEventTrace,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceVocabulary:
+    """An ordered token vocabulary for one modality."""
+
+    name: str
+    tokens: tuple
+
+    def __post_init__(self) -> None:
+        if len(set(self.tokens)) != len(self.tokens):
+            raise ValueError(f"{self.name}: duplicate token names")
+
+    @property
+    def size(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def index(self) -> dict:
+        # Computed lazily (frozen dataclass) and cached on the instance.
+        cached = self.__dict__.get("_index")
+        if cached is None:
+            cached = {token: i for i, token in enumerate(self.tokens)}
+            object.__setattr__(self, "_index", cached)
+        return cached
+
+    def encode(self, names) -> list:
+        index = self.index
+        try:
+            return [index[name] for name in names]
+        except KeyError as exc:
+            raise KeyError(f"{exc.args[0]!r} not in the {self.name} vocabulary") from None
+
+    def decode(self, token_ids) -> list:
+        return [self.tokens[token] for token in token_ids]
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenTrace:
+    """A trace already quantised to token ids.
+
+    Exposes ``token_ids`` so :func:`repro.ransomware.dataset.extract_windows`
+    windows it exactly like an :class:`~repro.ransomware.sandbox.ApiTrace`.
+    """
+
+    token_ids: tuple
+    source: str
+    variant: int
+    is_ransomware: bool
+
+    def __len__(self) -> int:
+        return len(self.token_ids)
+
+
+# ----------------------------------------------------------------------
+# Block-I/O quantisation
+# ----------------------------------------------------------------------
+
+#: LBA-delta classes, measured against the previous request's end: a
+#: delta of zero is perfectly sequential; "near" is within one typical
+#: file's reach (8 MiB at 4 KiB blocks); anything further is a seek.
+_DELTA_CLASSES = ("seq", "fwd_near", "fwd_far", "back_near", "back_far")
+_DELTA_NEAR_BLOCKS = 2048
+
+#: Transfer-size classes in blocks.
+_SIZE_CLASSES = ("tiny", "small", "medium", "large")
+_SIZE_EDGES = (2, 16, 128)      # tiny <= 2 < small <= 16 < medium <= 128 < large
+
+#: Write-entropy classes over the inline entropy proxy.
+_ENTROPY_CLASSES = ("low", "mid", "high", "max")
+_ENTROPY_EDGES = (0.3, 0.7, 0.9)
+
+
+def _build_block_io_vocabulary() -> TraceVocabulary:
+    tokens: list = []
+    for delta in _DELTA_CLASSES:
+        for size in _SIZE_CLASSES:
+            tokens.append(f"read:{delta}:{size}")
+    for delta in _DELTA_CLASSES:
+        for size in _SIZE_CLASSES:
+            for entropy in _ENTROPY_CLASSES:
+                tokens.append(f"write:{delta}:{size}:{entropy}")
+    for size in _SIZE_CLASSES:
+        tokens.append(f"trim:{size}")
+    tokens.append("flush")
+    return TraceVocabulary(name="block_io", tokens=tuple(tokens))
+
+
+#: 105 tokens: 5x4 reads + 5x4x4 writes + 4 trims + flush.
+BLOCK_IO_VOCABULARY = _build_block_io_vocabulary()
+
+
+def _delta_class(delta: int) -> str:
+    if delta == 0:
+        return "seq"
+    if delta > 0:
+        return "fwd_near" if delta <= _DELTA_NEAR_BLOCKS else "fwd_far"
+    return "back_near" if -delta <= _DELTA_NEAR_BLOCKS else "back_far"
+
+
+def _bucket(value, edges, classes) -> str:
+    for edge, cls in zip(edges, classes):
+        if value <= edge:
+            return cls
+    return classes[-1]
+
+
+def tokenize_block_trace(trace: BlockIoTrace) -> TokenTrace:
+    """Quantise one block-I/O trace into ``BLOCK_IO_VOCABULARY`` tokens."""
+    index = BLOCK_IO_VOCABULARY.index
+    token_ids: list = []
+    cursor = None        # previous request's end LBA
+    for event in trace.events:
+        if event.op == "flush":
+            token_ids.append(index["flush"])
+            continue
+        delta = "seq" if cursor is None else _delta_class(event.lba - cursor)
+        size = _bucket(event.blocks, _SIZE_EDGES, _SIZE_CLASSES)
+        if event.op == "read":
+            name = f"read:{delta}:{size}"
+        elif event.op == "write":
+            entropy = _bucket(event.entropy, _ENTROPY_EDGES, _ENTROPY_CLASSES)
+            name = f"write:{delta}:{size}:{entropy}"
+        else:           # trim
+            name = f"trim:{size}"
+        token_ids.append(index[name])
+        cursor = event.lba + event.blocks
+    return TokenTrace(
+        token_ids=tuple(token_ids),
+        source=trace.source,
+        variant=trace.variant,
+        is_ransomware=trace.is_ransomware,
+    )
+
+
+# ----------------------------------------------------------------------
+# Filesystem quantisation
+# ----------------------------------------------------------------------
+
+def _build_filesystem_vocabulary() -> TraceVocabulary:
+    tokens: list = []
+    for op in FS_OPS:
+        if op == "rename":
+            continue
+        for ext in EXTENSIONS:
+            tokens.append(f"{op}:{ext}")
+    for ext in EXTENSIONS:
+        for new_ext in EXTENSIONS:
+            tokens.append(f"rename:{ext}:{new_ext}")
+    return TraceVocabulary(name="filesystem", tokens=tuple(tokens))
+
+
+#: 120 tokens: 7 non-rename ops x 8 extensions + 8x8 rename pairs.
+FILESYSTEM_VOCABULARY = _build_filesystem_vocabulary()
+
+
+def tokenize_filesystem_trace(trace: FsEventTrace) -> TokenTrace:
+    """Quantise one filesystem-event trace into ``FILESYSTEM_VOCABULARY`` tokens."""
+    index = FILESYSTEM_VOCABULARY.index
+    token_ids: list = []
+    for event in trace.events:
+        if event.op == "rename":
+            name = f"rename:{event.ext}:{event.new_ext}"
+        else:
+            name = f"{event.op}:{event.ext}"
+        token_ids.append(index[name])
+    return TokenTrace(
+        token_ids=tuple(token_ids),
+        source=trace.source,
+        variant=trace.variant,
+        is_ransomware=trace.is_ransomware,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dataset builders (mirror repro.ransomware.dataset.build_dataset)
+# ----------------------------------------------------------------------
+
+def _build_trace_dataset(
+    synthesizer,
+    tokenize,
+    scale: float,
+    sequence_length: int,
+    stride: int,
+    seed: int,
+    shuffle: bool,
+) -> Dataset:
+    """Shared windowing/accounting for both trace modalities.
+
+    Identical protocol to :func:`~repro.ransomware.dataset.build_dataset`:
+    the same paper-scale sequence quotas, the same per-variant window
+    distribution, the same final shuffle — only the signal source and
+    vocabulary differ, so cross-modality comparisons hold the dataset
+    methodology fixed.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    total_variants = sum(family.variant_count for family in ALL_FAMILIES)
+    ransomware_total = max(total_variants, int(round(PAPER_RANSOMWARE_SEQUENCES * scale)))
+    benign_total = max(len(ALL_BENIGN_PROFILES), int(round(PAPER_BENIGN_SEQUENCES * scale)))
+
+    sequences: list = []
+    labels: list = []
+    sources: list = []
+
+    variant_counts = _distribute(ransomware_total, total_variants)
+    variant_cursor = 0
+    for family in ALL_FAMILIES:
+        for variant_index in range(family.variant_count):
+            trace = tokenize(synthesizer.synthesize_ransomware(family, variant_index))
+            for window in extract_windows(
+                trace, sequence_length, variant_counts[variant_cursor]
+            ):
+                sequences.append(window)
+                labels.append(1)
+                sources.append(family.name)
+            variant_cursor += 1
+
+    benign_counts = _distribute(benign_total, len(ALL_BENIGN_PROFILES))
+    for profile_index, profile in enumerate(ALL_BENIGN_PROFILES):
+        count = benign_counts[profile_index]
+        target_length = max(
+            sequence_length + stride * (count - 1) + 64,
+            sequence_length + 1200,
+        )
+        trace = tokenize(
+            synthesizer.synthesize_benign(
+                profile, profile_index, target_length=target_length
+            )
+        )
+        for window in extract_windows(trace, sequence_length, count):
+            sequences.append(window)
+            labels.append(0)
+            sources.append(profile.name)
+
+    dataset = Dataset(
+        sequences=np.asarray(sequences, dtype=np.int64),
+        labels=np.asarray(labels, dtype=np.int64),
+        sources=tuple(sources),
+    )
+    if shuffle:
+        dataset = dataset.shuffled(seed)
+    return dataset
+
+
+def build_block_io_dataset(
+    scale: float = 1.0,
+    sequence_length: int = PAPER_SEQUENCE_LENGTH,
+    stride: int = DEFAULT_STRIDE,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Dataset:
+    """Synthesise the block-I/O dataset (paper-protocol windowing)."""
+    return _build_trace_dataset(
+        BlockIoSynthesizer(seed=seed),
+        tokenize_block_trace,
+        scale, sequence_length, stride, seed, shuffle,
+    )
+
+
+def build_filesystem_dataset(
+    scale: float = 1.0,
+    sequence_length: int = PAPER_SEQUENCE_LENGTH,
+    stride: int = DEFAULT_STRIDE,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Dataset:
+    """Synthesise the filesystem-event dataset (paper-protocol windowing)."""
+    return _build_trace_dataset(
+        FsEventSynthesizer(seed=seed),
+        tokenize_filesystem_trace,
+        scale, sequence_length, stride, seed, shuffle,
+    )
+
+
+# ----------------------------------------------------------------------
+# Modality registry
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Modality:
+    """One signal source the serving stack can be trained against.
+
+    ``build_dataset`` shares :func:`repro.ransomware.dataset.build_dataset`'s
+    signature: ``(scale, sequence_length, stride, seed, shuffle)``.
+    """
+
+    name: str
+    vocabulary: TraceVocabulary
+    build_dataset: object
+    description: str = ""
+
+
+#: All signal sources, keyed by CLI/report name.  ``api`` is the paper's
+#: original modality behind the same interface.
+MODALITIES = {
+    "api": Modality(
+        name="api",
+        vocabulary=TraceVocabulary(name="api", tokens=API_NAMES),
+        build_dataset=build_dataset,
+        description="Windows API-call sequences (the paper's signal)",
+    ),
+    "block_io": Modality(
+        name="block_io",
+        vocabulary=BLOCK_IO_VOCABULARY,
+        build_dataset=build_block_io_dataset,
+        description="Block-layer requests: LBA deltas, sizes, write entropy",
+    ),
+    "filesystem": Modality(
+        name="filesystem",
+        vocabulary=FILESYSTEM_VOCABULARY,
+        build_dataset=build_filesystem_dataset,
+        description="Filesystem events: op x extension class, rename churn",
+    ),
+}
+
+assert MODALITIES["api"].vocabulary.size == VOCABULARY_SIZE

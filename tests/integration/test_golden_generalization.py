@@ -1,0 +1,81 @@
+"""Golden regression on leave-k-families-out recall.
+
+Pins the held-out per-family recall and the recall gap of the reference
+generalisation run (``tests/reference.py``) for every modality at every
+optimisation level.  Drift here means the trace synthesis, the
+adapters, the dataset protocol, the training recipe, or the engine's
+numerics changed the harness's headline numbers.
+
+When a change is *intentional*, regenerate the file and commit the diff
+alongside the change:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python scripts/refresh_golden_scores.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.config import OptimizationLevel
+from repro.ransomware.traces import MODALITIES
+from tests.reference import golden_generalization_recall
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "golden" / "generalization_recall.json"
+)
+
+#: Recall values are window-count ratios over a few dozen held-out
+#: windows; the tolerance admits one window flipping its verdict
+#: (≈1/40) from platform-level float drift in training, nothing more.
+ATOL = 0.03
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())["recall"]
+
+
+@pytest.fixture(scope="module")
+def live():
+    return golden_generalization_recall()
+
+
+class TestGoldenGeneralizationRecall:
+    def test_golden_covers_every_modality_and_level(self, golden):
+        assert set(golden) - {"_held_out"} == set(MODALITIES)
+        assert len(golden["_held_out"]) == 2
+        for modality in MODALITIES:
+            assert set(golden[modality]) == {
+                level.name for level in OptimizationLevel
+            }
+            for row in golden[modality].values():
+                assert set(row["per_family"]) == set(golden["_held_out"])
+
+    def test_same_fold_partition(self, golden, live):
+        assert live["_held_out"] == golden["_held_out"]
+
+    @pytest.mark.parametrize("modality", sorted(MODALITIES))
+    @pytest.mark.parametrize("level", [l.name for l in OptimizationLevel])
+    def test_recall_matches_golden(self, golden, live, modality, level):
+        want = golden[modality][level]
+        got = live[modality][level]
+        for key in ("held_out_recall", "recall_gap"):
+            assert got[key] == pytest.approx(want[key], abs=ATOL), (
+                f"{modality}/{level} {key}: golden {want[key]!r} vs live "
+                f"{got[key]!r} — if this drift is intentional, run "
+                "scripts/refresh_golden_scores.py and commit the diff"
+            )
+        for family, recall in want["per_family"].items():
+            assert got["per_family"][family] == pytest.approx(
+                recall, abs=ATOL
+            ), f"{modality}/{level} family {family}"
+
+    def test_float_levels_agree_exactly(self, live):
+        # VANILLA and II_OPTIMIZED share the float datapath; the harness
+        # numbers must be identical, not merely within tolerance.
+        for modality in MODALITIES:
+            assert (live[modality]["VANILLA"]
+                    == live[modality]["II_OPTIMIZED"]), modality

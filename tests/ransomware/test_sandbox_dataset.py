@@ -181,8 +181,30 @@ class TestBuildDataset:
         assert not ({"Ryuk", "Wannacry"} & set(train.sources))
 
     def test_split_by_source_unknown_raises(self, dataset):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown sources.*NotAFamily"):
             dataset.split_by_source({"NotAFamily"})
+
+    def test_split_by_source_unknown_named_even_with_known(self, dataset):
+        # A typo'd name must not silently fall through because a valid
+        # one was also supplied.
+        with pytest.raises(ValueError, match="NotAFamily"):
+            dataset.split_by_source({"Ryuk", "NotAFamily"})
+
+    def test_split_by_source_empty_raises(self, dataset):
+        with pytest.raises(ValueError, match="empty"):
+            dataset.split_by_source(set())
+        with pytest.raises(ValueError, match="empty"):
+            dataset.split_by_source([])
+
+    def test_split_by_source_all_sources_raises(self, dataset):
+        with pytest.raises(ValueError, match="training side would be empty"):
+            dataset.split_by_source(set(dataset.sources))
+
+    def test_split_by_source_single_source_boundary(self, dataset):
+        train, test = dataset.split_by_source({"Ryuk"})
+        assert set(test.sources) == {"Ryuk"}
+        assert len(train) + len(test) == len(dataset)
+        assert len(test) > 0
 
     def test_rejects_bad_scale(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,199 @@
+"""Trace front-end and adapter invariants (block-I/O + filesystem).
+
+The adapter contract that lets the unchanged serving stack consume the
+new modalities: every emitted token is in-vocabulary, tokenisation is
+1:1 with events, window extraction preserves counts and ordering, and
+adapter output round-trips through the CSV dataset format losslessly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ransomware.benign import ALL_BENIGN_PROFILES
+from repro.ransomware.dataset import extract_windows, load_csv, save_csv
+from repro.ransomware.families import ALL_FAMILIES
+from repro.ransomware.traces import (
+    BLOCK_IO_VOCABULARY,
+    FILESYSTEM_VOCABULARY,
+    MODALITIES,
+    BlockIoEvent,
+    BlockIoSynthesizer,
+    FsEvent,
+    FsEventSynthesizer,
+    TokenTrace,
+    TraceVocabulary,
+    build_block_io_dataset,
+    build_filesystem_dataset,
+    tokenize_block_trace,
+    tokenize_filesystem_trace,
+)
+
+#: One synthesizer+tokenizer pair per new modality, for parametrising.
+FRONT_ENDS = {
+    "block_io": (BlockIoSynthesizer, tokenize_block_trace, BLOCK_IO_VOCABULARY),
+    "filesystem": (FsEventSynthesizer, tokenize_filesystem_trace,
+                   FILESYSTEM_VOCABULARY),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FRONT_ENDS))
+def front_end(request):
+    synth_cls, tokenize, vocabulary = FRONT_ENDS[request.param]
+    return synth_cls(seed=3), tokenize, vocabulary
+
+
+class TestVocabularies:
+    def test_sizes(self):
+        assert BLOCK_IO_VOCABULARY.size == 105
+        assert FILESYSTEM_VOCABULARY.size == 120
+        assert MODALITIES["api"].vocabulary.size == 278
+
+    def test_tokens_unique_and_encode_decode_roundtrip(self):
+        for vocabulary in (BLOCK_IO_VOCABULARY, FILESYSTEM_VOCABULARY):
+            assert len(set(vocabulary.tokens)) == vocabulary.size
+            ids = vocabulary.encode(vocabulary.tokens)
+            assert ids == list(range(vocabulary.size))
+            assert vocabulary.decode(ids) == list(vocabulary.tokens)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="block_io"):
+            BLOCK_IO_VOCABULARY.encode(["no-such-token"])
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TraceVocabulary(name="bad", tokens=("a", "a"))
+
+
+class TestEventValidation:
+    def test_block_event_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            BlockIoEvent("copy", 0, 1)
+        with pytest.raises(ValueError, match="outside"):
+            BlockIoEvent("read", -1, 1)
+        with pytest.raises(ValueError, match="positive"):
+            BlockIoEvent("read", 0, 0)
+        with pytest.raises(ValueError, match="entropy"):
+            BlockIoEvent("write", 0, 1, entropy=1.5)
+
+    def test_fs_event_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            FsEvent("truncate", "doc")
+        with pytest.raises(ValueError, match="extension"):
+            FsEvent("open", "xls")
+        with pytest.raises(ValueError, match="rename"):
+            FsEvent("open", "doc", new_ext="crypt")
+        with pytest.raises(ValueError, match="rename"):
+            FsEvent("rename", "doc")
+        with pytest.raises(ValueError, match="target"):
+            FsEvent("rename", "doc", new_ext="xls")
+
+    def test_synthesizer_rejects_bad_variant_and_length(self, front_end):
+        synthesizer, _, _ = front_end
+        family = ALL_FAMILIES[0]
+        with pytest.raises(ValueError, match="variant"):
+            synthesizer.synthesize_ransomware(family, family.variant_count)
+        with pytest.raises(ValueError, match="target_length"):
+            synthesizer.synthesize_benign(ALL_BENIGN_PROFILES[0], 0,
+                                          target_length=0)
+
+
+class TestTokenizerInvariants:
+    def test_every_token_in_vocabulary(self, front_end):
+        synthesizer, tokenize, vocabulary = front_end
+        for family in ALL_FAMILIES[:4]:
+            trace = synthesizer.synthesize_ransomware(family, 0)
+            encoded = tokenize(trace)
+            assert all(0 <= t < vocabulary.size for t in encoded.token_ids)
+        for profile in ALL_BENIGN_PROFILES[:4]:
+            trace = synthesizer.synthesize_benign(profile, 0, target_length=400)
+            encoded = tokenize(trace)
+            assert all(0 <= t < vocabulary.size for t in encoded.token_ids)
+
+    def test_one_token_per_event_and_metadata_carried(self, front_end):
+        synthesizer, tokenize, _ = front_end
+        trace = synthesizer.synthesize_ransomware(ALL_FAMILIES[2], 1)
+        encoded = tokenize(trace)
+        assert len(encoded) == len(trace)
+        assert encoded.source == trace.source
+        assert encoded.variant == trace.variant
+        assert encoded.is_ransomware is True
+
+    def test_equal_traces_tokenize_equally(self, front_end):
+        synthesizer, tokenize, _ = front_end
+        first = tokenize(synthesizer.synthesize_ransomware(ALL_FAMILIES[1], 0))
+        second = tokenize(synthesizer.synthesize_ransomware(ALL_FAMILIES[1], 0))
+        assert first.token_ids == second.token_ids
+
+
+class TestWindowExtraction:
+    def test_windows_preserve_count_and_ordering(self, front_end):
+        synthesizer, tokenize, _ = front_end
+        encoded = tokenize(
+            synthesizer.synthesize_benign(ALL_BENIGN_PROFILES[1], 0,
+                                          target_length=900)
+        )
+        tokens = list(encoded.token_ids)
+        length, count = 50, 12
+        windows = extract_windows(encoded, length, count)
+        assert len(windows) == count
+        stride = (len(tokens) - length) // (count - 1)
+        for index, window in enumerate(windows):
+            start = index * stride
+            assert list(window) == tokens[start : start + length]
+
+    def test_token_trace_too_short_raises(self):
+        trace = TokenTrace(token_ids=tuple(range(10)), source="x",
+                           variant=0, is_ransomware=False)
+        with pytest.raises(ValueError, match="cannot yield"):
+            extract_windows(trace, 8, 5)
+
+
+class TestDatasetBuilders:
+    @pytest.fixture(scope="class", params=["block_io", "filesystem"])
+    def built(self, request):
+        builder = (build_block_io_dataset if request.param == "block_io"
+                   else build_filesystem_dataset)
+        return request.param, builder(scale=0.01, sequence_length=40, seed=5)
+
+    def test_shape_balance_and_sources(self, built):
+        name, dataset = built
+        assert dataset.sequences.shape == (len(dataset), 40)
+        assert dataset.sequences.dtype == np.int64
+        # Same quotas as the API builder: 76 ransomware + 31 benign at
+        # the scale floor.
+        assert 0.4 < dataset.ransomware_fraction < 0.55
+        family_names = {f.name for f in ALL_FAMILIES}
+        profile_names = {p.name for p in ALL_BENIGN_PROFILES}
+        for source, label in zip(dataset.sources, dataset.labels):
+            assert source in (family_names if label else profile_names)
+
+    def test_tokens_bounded_by_vocabulary(self, built):
+        name, dataset = built
+        vocabulary = MODALITIES[name].vocabulary
+        assert dataset.sequences.min() >= 0
+        assert dataset.sequences.max() < vocabulary.size
+
+    def test_csv_roundtrip_lossless(self, built, tmp_path):
+        _, dataset = built
+        path = tmp_path / "trace_dataset.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path)
+        np.testing.assert_array_equal(loaded.sequences, dataset.sequences)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_block_io_dataset(scale=0.0)
+
+
+class TestModalityRegistry:
+    def test_three_modalities_share_the_builder_contract(self):
+        assert sorted(MODALITIES) == ["api", "block_io", "filesystem"]
+        for modality in MODALITIES.values():
+            assert modality.vocabulary.size > 0
+            assert callable(modality.build_dataset)
+
+    def test_api_modality_is_the_original_builder(self):
+        from repro.ransomware.dataset import build_dataset
+
+        assert MODALITIES["api"].build_dataset is build_dataset

@@ -58,6 +58,54 @@ def train_reference_model(train_split, test_split) -> SequenceClassifier:
     return model
 
 
+# ----------------------------------------------------------------------
+# Generalisation (leave-k-families-out) golden recipe
+# ----------------------------------------------------------------------
+
+#: The pinned harness run behind
+#: ``tests/integration/golden/generalization_recall.json``: one
+#: leave-2-out fold of every modality, evaluated at every
+#: OptimizationLevel.  Small on purpose — the committed
+#: ``BENCH_generalization.json`` carries the full partition.
+def reference_generalization_config():
+    from repro.ransomware.generalization import GeneralizationConfig
+
+    return GeneralizationConfig(
+        modalities=("api", "block_io", "filesystem"),
+        held_out_per_fold=2,
+        folds=1,
+        scale=0.02,
+        sequence_length=REFERENCE_SEQUENCE_LENGTH,
+        seed=7,
+        epochs=4,
+        optimizations=tuple(OptimizationLevel),
+    )
+
+
+def golden_generalization_recall() -> dict:
+    """Held-out recall per (modality, level, family) for the pinned run.
+
+    Returns a JSON-able mapping ``modality -> level ->
+    {held_out_recall, recall_gap, per_family}`` plus the fold's held-out
+    family list under ``"_held_out"``.
+    """
+    from repro.ransomware.generalization import evaluate_generalization
+
+    report = evaluate_generalization(reference_generalization_config())
+    recall: dict = {"_held_out": sorted(report.fold_sets[0])}
+    for result in report.modalities:
+        (fold,) = result.folds
+        recall[result.modality] = {
+            metrics.optimization: {
+                "held_out_recall": metrics.held_out_recall,
+                "recall_gap": metrics.recall_gap,
+                "per_family": dict(sorted(metrics.per_family_recall.items())),
+            }
+            for metrics in fold.levels
+        }
+    return recall
+
+
 def golden_detector_scores(model, test_split, backend: str = "reference") -> dict:
     """Detector probabilities per optimisation level on the pinned subset.
 

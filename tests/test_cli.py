@@ -41,7 +41,7 @@ class TestParser:
         text = parser.format_help()
         for command in (
             "dataset", "train", "evaluate", "scan", "report", "monitor",
-            "fleet-serve", "control-plane",
+            "fleet-serve", "control-plane", "generalize",
         ):
             assert command in text
 
@@ -204,3 +204,36 @@ class TestReportCommand:
         exit_code = main(["report", "--optimization", "VANILLA", "--gate-cus", "1"])
         assert exit_code == 0
         assert "1 gates CU" in capsys.readouterr().out
+
+
+class TestGeneralizeCommand:
+    def test_runs_one_fold_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "generalization.json"
+        exit_code = main([
+            "generalize", "--modalities", "block_io", "--folds", "1",
+            "--scale", "0.01", "--sequence-length", "40", "--epochs", "2",
+            "--seed", "7", "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "held-out recall" in output
+        assert "gap" in output
+        document = json.loads(json_path.read_text())
+        assert document["protocol"] == "leave-k-families-out"
+        assert document["config"]["modalities"] == ["block_io"]
+        assert len(document["fold_sets"]) == 1
+
+    def test_repeatable_optimization_flag(self, capsys):
+        exit_code = main([
+            "generalize", "--modalities", "filesystem", "--folds", "1",
+            "--scale", "0.01", "--sequence-length", "40", "--epochs", "2",
+            "--optimization", "VANILLA", "--optimization", "FIXED_POINT",
+        ])
+        assert exit_code == 0
+        assert "VANILLA" in capsys.readouterr().out
+
+    def test_unknown_modality_errors(self):
+        with pytest.raises(ValueError, match="unknown modalities"):
+            main(["generalize", "--modalities", "syscall", "--folds", "1"])
