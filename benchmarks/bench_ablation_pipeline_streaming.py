@@ -11,7 +11,7 @@
 from benchmarks.conftest import record_report
 from repro.core.config import EngineConfig, OptimizationLevel
 from repro.core.engine import CSDInferenceEngine
-from repro.core.streaming import streaming_report
+from repro.core.sessions import streaming_report
 from repro.core.timing import build_inference_timing
 
 

@@ -208,15 +208,42 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override the recipe seed (changes the "
                              "committed numbers — default keeps it)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run the (modality, fold) grid across N "
+                             "processes (bit-identical to serial)")
+    parser.add_argument("--train-backend", default=None,
+                        choices=["reference", "fused"],
+                        help="training kernel backend (bit-exact either way)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed model cache directory "
+                             "(see docs/performance.md)")
+    parser.add_argument("--assert-all-cache-hits", action="store_true",
+                        help="exit non-zero unless every fold's model came "
+                             "out of the cache without training a single "
+                             "batch (the CI cache-effectiveness gate; "
+                             "requires --cache-dir and a prior warm run)")
     args = parser.parse_args(argv)
 
     config = QUICK_CONFIG if args.quick else FULL_CONFIG
-    if args.seed is not None:
+    overrides = {
+        key: value for key, value in (
+            ("seed", args.seed), ("workers", args.workers),
+            ("train_backend", args.train_backend),
+            ("cache_dir", args.cache_dir),
+        ) if value is not None
+    }
+    if overrides:
         import dataclasses
 
-        config = dataclasses.replace(config, seed=args.seed)
+        config = dataclasses.replace(config, **overrides)
+    if args.assert_all_cache_hits and not config.cache_dir:
+        parser.error("--assert-all-cache-hits requires --cache-dir")
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
     start = time.perf_counter()
-    report = evaluate_generalization(config, progress=print)
+    report = evaluate_generalization(config, telemetry=telemetry, progress=print)
     wall_seconds = time.perf_counter() - start
     document = build_document(report)
     for line in _report_lines(document, wall_seconds):
@@ -228,7 +255,30 @@ def main(argv=None) -> int:
 
     ok, message = _gate(document, min_recall=args.assert_min_recall)
     print(message)
+    if ok and args.assert_all_cache_hits:
+        ok, message = _cache_gate(telemetry, report)
+        print(message)
     return 0 if ok else 1
+
+
+def _counter_total(telemetry, name: str) -> int:
+    return sum(
+        record["value"] for record in telemetry.metrics.snapshot()
+        if record["type"] == "counter" and record["name"] == name
+    )
+
+
+def _cache_gate(telemetry, report: GeneralizationReport) -> tuple:
+    """(ok, message): the warm run must restore every model from cache."""
+    models = len(report.modalities) * len(report.fold_sets)
+    hits = _counter_total(telemetry, "repro_train_cache_hits_total")
+    batches = _counter_total(telemetry, "repro_train_batches_total")
+    if batches or hits != models:
+        return False, (
+            f"FAIL: expected {models} cache hits and 0 trained batches, "
+            f"got {hits} hits and {batches} batches"
+        )
+    return True, f"cache gate passed: {models} models restored, 0 batches trained"
 
 
 if __name__ == "__main__":

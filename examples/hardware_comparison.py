@@ -20,7 +20,7 @@ from repro import (
     hardware_comparison,
     optimization_sweep,
 )
-from repro.core.streaming import streaming_report
+from repro.core.sessions import streaming_report
 from repro.core.weights import HostWeights
 from repro.hw.power import (
     A100_GPU_POWER,

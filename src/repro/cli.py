@@ -80,20 +80,48 @@ def _add_train_command(subparsers) -> None:
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--test-fraction", type=float, default=0.2)
     parser.add_argument("--seed", type=int, default=0)
+    _add_training_arguments(parser)
     parser.set_defaults(handler=_run_train)
+
+
+def _add_training_arguments(parser) -> None:
+    from repro.nn.kernels import DEFAULT_TRAIN_BACKEND, available_training_backends
+
+    parser.add_argument(
+        "--train-backend", choices=available_training_backends(),
+        default=DEFAULT_TRAIN_BACKEND,
+        help="training kernel backend; 'fused' is bit-exact with "
+             "'reference' and faster (see docs/performance.md)")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed model cache directory: identical "
+             "training runs restore trained weights from disk instead "
+             "of retraining (see docs/performance.md)")
+
+
+def _make_model_cache(args, telemetry):
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.nn.cache import ModelCache
+
+    return ModelCache(args.cache_dir, telemetry=telemetry)
 
 
 def _run_train(args) -> int:
     dataset = load_csv(args.dataset)
     train, test = dataset.train_test_split(args.test_fraction, seed=args.seed)
     model = SequenceClassifier(seed=args.seed)
+    telemetry = getattr(args, "_telemetry", None)
     trainer = Trainer(
         model,
         TrainingConfig(
             epochs=args.epochs, batch_size=args.batch_size,
             learning_rate=args.learning_rate,
             eval_every=max(1, args.epochs // 10),
+            backend=args.train_backend,
         ),
+        telemetry=telemetry,
+        cache=_make_model_cache(args, telemetry),
     )
     history = trainer.fit(train.sequences, train.labels, test.sequences, test.labels)
     for record in history.records:
@@ -637,6 +665,7 @@ def _add_generalize_command(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full report as JSON to PATH")
+    _add_training_arguments(parser)
     parser.set_defaults(handler=_run_generalize)
 
 
@@ -664,6 +693,8 @@ def _run_generalize(args) -> int:
         optimizations=levels,
         epochs=args.epochs,
         workers=max(1, getattr(args, "workers", 1)),
+        train_backend=args.train_backend,
+        cache_dir=args.cache_dir,
     )
     report = evaluate_generalization(
         config, telemetry=getattr(args, "_telemetry", None), progress=print

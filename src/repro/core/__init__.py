@@ -50,7 +50,7 @@ from repro.core.mixed_precision import (
     PolicyEvaluation,
     evaluate_policy,
 )
-from repro.core.streaming import StreamingReport, streaming_report
+from repro.core.sessions import StreamingReport, streaming_report
 from repro.core.timing import (
     InferenceTiming,
     KernelReport,

@@ -41,12 +41,16 @@ import math
 
 import numpy as np
 
+from repro.core.config import EngineConfig
 from repro.core.kernels.backends import (
     FALLBACK_OVERFLOW_GUARD,
     FusedOverflow,
     METRIC_TICKS,
     resolve_backend,
 )
+from repro.core.kernels.base import KernelTiming
+from repro.hw.clock import ClockDomain
+from repro.hw.dataflow import StageTiming, schedule
 
 #: Fixed per-session bookkeeping estimate (Python objects, dict slots)
 #: on top of the ring's state arrays; used by the memory budget.
@@ -1044,3 +1048,155 @@ class SessionManager:
                 "unit": "step",
             },
         )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-to-kernel streaming extension (paper Section III-C)
+# ---------------------------------------------------------------------------
+# "Note that streaming can be easily ported to the kernel implementation
+# for additional acceleration if the FPGA supports it."  In the baseline
+# design, kernels exchange data through FPGA global memory over AXI
+# masters (each hand-off pays a DDR write + read).  With AXI4-Stream
+# hand-offs the producing kernel pushes words directly into the
+# consumer's FIFO: the hand-off cost drops from two DDR transactions to
+# a FIFO depth, and the per-CU copy loops disappear (each consumer taps
+# the stream).  The model below quantifies that variant on top of the
+# existing kernel timings for the streaming ablation benchmark; it lives
+# with the streaming-session serving layer because both describe the
+# engine's streaming story (formerly ``repro.core.streaming``, which now
+# re-exports from here).
+
+#: Cycles for a word to traverse an AXI4-Stream FIFO hand-off.
+STREAM_FIFO_LATENCY_CYCLES = 2
+
+
+def _speedup(baseline_cycles: int, streamed_cycles: int) -> float:
+    """``baseline / streamed`` with degenerate denominators made honest.
+
+    A zero streamed-cycle count against a non-zero baseline is an
+    *unbounded* speedup — returning 1.0 there (as this once did) would
+    silently report "no speedup" for the best possible outcome.  Only
+    zero-over-zero, where the comparison is vacuous, reports 1.0.
+    """
+    if streamed_cycles == 0:
+        return math.inf if baseline_cycles > 0 else 1.0
+    return baseline_cycles / streamed_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamingReport:
+    """Per-item and per-sequence effect of enabling streaming."""
+
+    baseline_item_cycles: int
+    streamed_item_cycles: int
+    baseline_sequence_cycles: int
+    streamed_sequence_cycles: int
+    clock: ClockDomain
+
+    @property
+    def item_speedup(self) -> float:
+        return _speedup(self.baseline_item_cycles, self.streamed_item_cycles)
+
+    @property
+    def sequence_speedup(self) -> float:
+        return _speedup(
+            self.baseline_sequence_cycles, self.streamed_sequence_cycles
+        )
+
+    @property
+    def streamed_item_microseconds(self) -> float:
+        return self.clock.cycles_to_microseconds(self.streamed_item_cycles)
+
+
+def _copy_loop_cycles(trip_count: int, ii_optimized: bool) -> int:
+    """Latency of a per-CU fan-out copy loop (same model as the kernels)."""
+    from repro.hw.hls import HlsLoop, PragmaSet, VANILLA_PRAGMAS
+
+    if ii_optimized:
+        pragmas = PragmaSet(pipeline=True, target_ii=1, unroll=4, array_partition=True)
+    else:
+        pragmas = VANILLA_PRAGMAS
+    return HlsLoop(
+        name="copy", trip_count=trip_count, iteration_depth=4,
+        pragmas=pragmas, unroll_depth_penalty=0,
+    ).latency_cycles
+
+
+def _streamed(timing: KernelTiming, saved_cycles: int) -> KernelTiming:
+    """Rewrite one kernel's timing with ``saved_cycles`` removed."""
+    fill = max(1, timing.fill_latency_cycles - saved_cycles)
+    steady = max(1, timing.steady_ii_cycles - (0 if timing.reports_ii else saved_cycles))
+    return KernelTiming(
+        kernel=timing.kernel,
+        fill_latency_cycles=fill,
+        steady_ii_cycles=steady,
+        reports_ii=timing.reports_ii,
+    )
+
+
+def streaming_report(engine) -> StreamingReport:
+    """Quantify the streaming variant against an engine's baseline.
+
+    Savings model:
+
+    * the producing kernels' per-CU fan-out copy loops disappear — each
+      consumer taps the stream (``kernel_preprocess``'s embedding copies,
+      ``kernel_hidden_state``'s ``h_t`` copies);
+    * downstream kernels become free-running: the per-item AXI-Lite
+      re-invocation handshake is replaced by the stream FIFO latency.
+
+    The embedding-table DDR fetch and the first kernel's invocation are
+    *not* removed — streaming changes hand-offs, not where the model's
+    parameters live.
+
+    Parameters
+    ----------
+    engine:
+        A built :class:`~repro.core.engine.CSDInferenceEngine` (loaded or
+        timing-only).
+    """
+    from repro.hw.hls import KERNEL_INVOKE_CYCLES
+
+    config: EngineConfig = engine.config
+    dims = config.dimensions
+    clock = engine.device.clock
+
+    preprocess = engine.preprocess.timing()
+    gates = engine.gates.timing()
+    hidden = engine.hidden_state.timing()
+
+    ii_optimized = config.optimization.uses_ii_pragmas
+    handoff_saving = KERNEL_INVOKE_CYCLES - STREAM_FIFO_LATENCY_CYCLES
+    preprocess_copy = _copy_loop_cycles(
+        dims.embedding_dim * config.num_gate_cus, ii_optimized
+    )
+    hidden_copy = _copy_loop_cycles(
+        dims.hidden_size * config.num_gate_cus, ii_optimized
+    )
+
+    streamed_preprocess = _streamed(preprocess, preprocess_copy)
+    streamed_gates = _streamed(gates, handoff_saving)
+    streamed_hidden = _streamed(hidden, handoff_saving + hidden_copy)
+
+    baseline_stage = StageTiming(
+        preprocess=preprocess.reported_cycles,
+        gates=gates.reported_cycles,
+        hidden_state=hidden.reported_cycles,
+    )
+    streamed_stage = StageTiming(
+        preprocess=streamed_preprocess.reported_cycles,
+        gates=streamed_gates.reported_cycles,
+        hidden_state=streamed_hidden.reported_cycles,
+    )
+    items = dims.sequence_length
+    return StreamingReport(
+        baseline_item_cycles=baseline_stage.serial_total,
+        streamed_item_cycles=streamed_stage.serial_total,
+        baseline_sequence_cycles=schedule(
+            baseline_stage, items, config.preemptive_preprocess
+        ),
+        streamed_sequence_cycles=schedule(
+            streamed_stage, items, config.preemptive_preprocess
+        ),
+        clock=clock,
+    )

@@ -1,0 +1,165 @@
+"""Content-addressed model cache: skip retraining identical runs.
+
+A training run in this repo is a pure function of (a) the model's initial
+weights (which encode the architecture and the init seed), (b) the
+:class:`~repro.nn.trainer.TrainingConfig`, and (c) the exact train/test
+split bytes.  :class:`ModelCache` hashes all three into a sha256 key and
+stores the trained weights (the round-trip-exact text format from
+``repro.nn.serialization``) plus the :class:`~repro.nn.trainer.ConvergenceHistory`
+records on disk — so repeated benchmark runs, golden refreshes, and CI's
+second generalization pass skip retraining entirely and restore the
+bit-identical trained model.
+
+The key deliberately *excludes* ``TrainingConfig.backend``: the fused
+training kernel is bit-exact with the reference (enforced by a build-time
+self-check and the hypothesis parity suite), so a model trained by either
+backend is the same model and may share a cache entry.
+
+Corrupt or unreadable entries are invalidated (deleted and counted) and
+treated as misses, so a damaged cache degrades to a retrain, never a wrong
+model.  Writes are atomic (temp file + ``os.replace``), which also makes
+concurrent fold workers writing disjoint keys safe.
+
+Counters (documented in docs/observability.md):
+``repro_train_cache_hits_total`` / ``repro_train_cache_misses_total`` /
+``repro_train_cache_invalidations_total``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.serialization import SECTION_NAMES, dump_weights, load_weights
+from repro.nn.trainer import ConvergenceHistory, EpochRecord
+
+#: Metric names (documented in docs/observability.md).
+METRIC_CACHE_HITS = "repro_train_cache_hits_total"
+METRIC_CACHE_MISSES = "repro_train_cache_misses_total"
+METRIC_CACHE_INVALIDATIONS = "repro_train_cache_invalidations_total"
+
+#: Bump to invalidate every existing entry on a format change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _update_with_array(digest, array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+
+
+class ModelCache:
+    """Disk cache of trained models keyed by training-run content hash.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created if missing.  One ``<key>.weights.txt`` +
+        ``<key>.meta.json`` pair per entry.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` mirroring the plain
+        ``hits``/``misses``/``invalidations`` attributes as counters.
+    """
+
+    def __init__(self, directory, telemetry=None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _count(self, metric: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(metric).inc()
+
+    # -- key -----------------------------------------------------------
+
+    def key_for(
+        self,
+        model,
+        config,
+        train_sequences,
+        train_labels,
+        test_sequences,
+        test_labels,
+    ) -> str:
+        """sha256 over initial weights + config + both split byte streams."""
+        digest = hashlib.sha256()
+        digest.update(f"repro-model-cache-v{CACHE_SCHEMA_VERSION};".encode())
+        digest.update(f"activation={model.lstm.cell_activation_name};".encode())
+        for array in model.get_weights():
+            _update_with_array(digest, array)
+        for field in dataclasses.fields(config):
+            if field.name == "backend":
+                continue  # bit-exact across backends, by contract
+            digest.update(f"{field.name}={getattr(config, field.name)!r};".encode())
+        for array in (train_sequences, train_labels, test_sequences, test_labels):
+            _update_with_array(digest, np.asarray(array))
+        return digest.hexdigest()
+
+    # -- entries ---------------------------------------------------------
+
+    def _paths(self, key: str) -> tuple:
+        return (
+            self.directory / f"{key}.weights.txt",
+            self.directory / f"{key}.meta.json",
+        )
+
+    def load(self, key: str, model):
+        """Restore a cached run into ``model``; returns its history or ``None``.
+
+        A readable entry sets the model's weights to the trained values and
+        returns a :class:`ConvergenceHistory`.  Missing entries count a
+        miss; undecodable or shape-mismatched entries are deleted and count
+        an invalidation *and* a miss (the caller retrains either way).  The
+        model is only mutated once the whole entry has validated.
+        """
+        weights_path, meta_path = self._paths(key)
+        if not (weights_path.exists() and meta_path.exists()):
+            self.misses += 1
+            self._count(METRIC_CACHE_MISSES)
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"schema {meta.get('schema')!r}")
+            records = [EpochRecord(**record) for record in meta["records"]]
+            sections = load_weights(str(weights_path))
+            weights = [sections[name] for name in SECTION_NAMES]
+            expected = [w.shape for w in model.get_weights()]
+            if [w.shape for w in weights] != expected:
+                raise ValueError("weight shape mismatch")
+        except Exception:
+            self.invalidations += 1
+            self._count(METRIC_CACHE_INVALIDATIONS)
+            weights_path.unlink(missing_ok=True)
+            meta_path.unlink(missing_ok=True)
+            self.misses += 1
+            self._count(METRIC_CACHE_MISSES)
+            return None
+        model.set_weights(weights)
+        self.hits += 1
+        self._count(METRIC_CACHE_HITS)
+        return ConvergenceHistory(records=records)
+
+    def store(self, key: str, model, records) -> None:
+        """Persist the trained ``model`` + history ``records`` under ``key``."""
+        weights_path, meta_path = self._paths(key)
+        meta = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "records": [dataclasses.asdict(record) for record in records],
+        }
+        for path, text in (
+            (weights_path, dump_weights(model)),
+            (meta_path, json.dumps(meta)),
+        ):
+            tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, path)

@@ -13,6 +13,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.nn.kernels import DEFAULT_TRAIN_BACKEND, resolve_training_backend
 from repro.nn.metrics import ConfusionMatrix, confusion_matrix
 from repro.nn.model import SequenceClassifier
 from repro.nn.optimizers import Adam, Optimizer, clip_gradients
@@ -79,6 +80,10 @@ class TrainingConfig:
     #: after training — the paper reports its metrics "at this juncture"
     #: (the peak), which is what deployment would ship.
     restore_best_weights: bool = False
+    #: Training kernel backend (see ``repro.nn.kernels``): ``"reference"``
+    #: or the bit-exact ``"fused"`` pass.  Excluded from the model-cache
+    #: key precisely because backends are bit-exact with each other.
+    backend: str = DEFAULT_TRAIN_BACKEND
 
 
 class Trainer:
@@ -92,7 +97,17 @@ class Trainer:
         Hyper-parameters; see :class:`TrainingConfig`.
     optimizer:
         Optional optimiser instance; defaults to Adam at the configured
-        learning rate (the TensorFlow default the paper implies).
+        learning rate (the TensorFlow default the paper implies).  Supplying
+        a custom optimiser bypasses the model cache, whose key only covers
+        the default-Adam trajectory.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; the training kernel
+        and cache count their batches/fallbacks/hits against it.
+    cache:
+        Optional :class:`~repro.nn.cache.ModelCache`.  When set (and the
+        optimiser is the default), :meth:`fit` first looks up the
+        content-addressed key of this exact run and, on a hit, restores the
+        trained weights + history without training a single batch.
     """
 
     def __init__(
@@ -100,10 +115,18 @@ class Trainer:
         model: SequenceClassifier,
         config: TrainingConfig | None = None,
         optimizer: Optimizer | None = None,
+        telemetry=None,
+        cache=None,
     ):
         self.model = model
         self.config = config or TrainingConfig()
+        self._default_optimizer = optimizer is None
         self.optimizer = optimizer or Adam(learning_rate=self.config.learning_rate)
+        self.telemetry = telemetry
+        self.cache = cache
+        self.kernel = resolve_training_backend(
+            self.config.backend, model, telemetry=telemetry
+        )
         self.history = ConvergenceHistory()
 
     def _iterate_batches(self, rng: np.random.Generator, sequences, labels):
@@ -114,8 +137,27 @@ class Trainer:
             batch = order[start : start + self.config.batch_size]
             yield sequences[batch], labels[batch]
 
+    @staticmethod
+    def _validate_eval_split(sequences, labels) -> tuple:
+        """Reject empty or mismatched eval splits with a clear error.
+
+        Without this, a bad split surfaces much later as a confusion-matrix
+        division artifact (NaN accuracy) or a silent broadcast.
+        """
+        sequences = np.asarray(sequences)
+        labels = np.asarray(labels)
+        if sequences.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"eval sequence/label count mismatch: {sequences.shape[0]} vs "
+                f"{labels.shape[0]}"
+            )
+        if sequences.shape[0] == 0:
+            raise ValueError("cannot evaluate on an empty test split")
+        return sequences, labels
+
     def evaluate(self, sequences: np.ndarray, labels: np.ndarray) -> ConfusionMatrix:
         """Evaluate the current model on a held-out split."""
+        sequences, labels = self._validate_eval_split(sequences, labels)
         predictions = self.model.predict(sequences)
         return confusion_matrix(predictions, labels)
 
@@ -149,6 +191,24 @@ class Trainer:
             )
         if train_sequences.shape[0] == 0:
             raise ValueError("cannot train on an empty dataset")
+        test_sequences, test_labels = self._validate_eval_split(
+            test_sequences, test_labels
+        )
+
+        # The content-addressed cache key covers the initial weights, the
+        # config (minus the bit-exact backend choice), and both splits —
+        # everything the default-Adam trajectory is a pure function of.
+        cache_key = None
+        if self.cache is not None and self._default_optimizer:
+            cache_key = self.cache.key_for(
+                self.model, self.config,
+                train_sequences, train_labels, test_sequences, test_labels,
+            )
+            cached = self.cache.load(cache_key, self.model)
+            if cached is not None:
+                self.history.records.extend(cached.records)
+                return self.history
+        records_before = len(self.history.records)
 
         rng = np.random.default_rng(self.config.seed)
         params = self.model.parameters()
@@ -156,17 +216,21 @@ class Trainer:
         best_weights = None
 
         for epoch in range(1, self.config.epochs + 1):
-            epoch_losses = []
+            epoch_loss_sum = 0.0
+            epoch_sample_count = 0
             for batch_sequences, batch_labels in self._iterate_batches(
                 rng, train_sequences, train_labels
             ):
-                loss, grads = self.model.train_batch(batch_sequences, batch_labels)
+                loss, grads = self.kernel.train_batch(batch_sequences, batch_labels)
                 if self.config.weight_decay:
                     for key, grad in grads.items():
                         grad += self.config.weight_decay * params[key]
                 clip_gradients(grads, self.config.gradient_clip)
                 self.optimizer.step(params, grads)
-                epoch_losses.append(loss)
+                # Sample-weighted epoch loss: a short final mini-batch must
+                # not count as much as a full one.
+                epoch_loss_sum += loss * batch_labels.shape[0]
+                epoch_sample_count += batch_labels.shape[0]
             if self.config.lr_decay != 1.0 and hasattr(self.optimizer, "learning_rate"):
                 self.optimizer.learning_rate *= self.config.lr_decay
 
@@ -175,7 +239,7 @@ class Trainer:
                 self.history.append(
                     EpochRecord(
                         epoch=epoch,
-                        train_loss=float(np.mean(epoch_losses)),
+                        train_loss=epoch_loss_sum / epoch_sample_count,
                         test_accuracy=matrix.accuracy,
                         test_precision=matrix.precision,
                         test_recall=matrix.recall,
@@ -193,4 +257,8 @@ class Trainer:
 
         if self.config.restore_best_weights and best_weights is not None:
             self.model.set_weights(best_weights)
+        if cache_key is not None:
+            self.cache.store(
+                cache_key, self.model, self.history.records[records_before:]
+            )
         return self.history

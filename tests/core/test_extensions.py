@@ -10,7 +10,7 @@ from repro.core.mixed_precision import (
     MixedPrecisionPolicy,
     evaluate_policy,
 )
-from repro.core.streaming import (
+from repro.core.sessions import (
     STREAM_FIFO_LATENCY_CYCLES,
     StreamingReport,
     streaming_report,

@@ -1,0 +1,193 @@
+"""Content-addressed model cache: key sensitivity, hit flow, corruption.
+
+The cache's correctness story is that its key covers *everything* the
+default-Adam training trajectory is a pure function of — initial weights
+(architecture + init seed), every TrainingConfig field except the
+bit-exact ``backend`` choice, and the exact train/test split bytes — so
+a hit can only ever restore the identical model.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn.cache import ModelCache
+from repro.nn.kernels import METRIC_TRAIN_BATCHES
+from repro.nn.model import SequenceClassifier
+from repro.nn.optimizers import SGD
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.telemetry import Telemetry
+
+VOCAB = 37
+
+
+def _model(seed=0, hidden_size=8):
+    return SequenceClassifier(
+        vocab_size=VOCAB, embedding_dim=4, hidden_size=hidden_size, seed=seed
+    )
+
+
+@pytest.fixture
+def split():
+    rng = np.random.default_rng(9)
+    sequences = rng.integers(0, VOCAB, size=(40, 8))
+    labels = rng.integers(0, 2, size=40)
+    return sequences[8:], labels[8:], sequences[:8], labels[:8]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ModelCache(tmp_path / "cache")
+
+
+def _key(cache, split, *, model=None, config=None):
+    return cache.key_for(
+        model or _model(), config or TrainingConfig(), *split
+    )
+
+
+class TestKeySensitivity:
+    def test_deterministic(self, cache, split):
+        assert _key(cache, split) == _key(cache, split)
+
+    def test_model_seed_changes_key(self, cache, split):
+        assert _key(cache, split) != _key(cache, split, model=_model(seed=1))
+
+    def test_architecture_changes_key(self, cache, split):
+        assert _key(cache, split) != _key(
+            cache, split, model=_model(hidden_size=16)
+        )
+
+    @pytest.mark.parametrize("field, value", [
+        ("epochs", 31), ("batch_size", 32), ("learning_rate", 0.01),
+        ("gradient_clip", 1.0), ("seed", 99), ("shuffle", False),
+        ("lr_decay", 0.9), ("weight_decay", 0.1),
+        ("restore_best_weights", True),
+    ])
+    def test_every_config_field_changes_key(self, cache, split, field, value):
+        changed = dataclasses.replace(TrainingConfig(), **{field: value})
+        assert _key(cache, split) != _key(cache, split, config=changed)
+
+    def test_backend_field_shares_key(self, cache, split):
+        """The one deliberate exception: backends are bit-exact, so a
+        model trained by either may serve the other's lookup."""
+        fused = TrainingConfig(backend="fused")
+        assert _key(cache, split) == _key(cache, split, config=fused)
+
+    def test_split_bytes_change_key(self, cache, split):
+        train_x, train_y, test_x, test_y = split
+        perturbed = train_x.copy()
+        perturbed[0, 0] = (perturbed[0, 0] + 1) % VOCAB
+        assert _key(cache, split) != cache.key_for(
+            _model(), TrainingConfig(), perturbed, train_y, test_x, test_y
+        )
+        flipped = train_y.copy()
+        flipped[0] ^= 1
+        assert _key(cache, split) != cache.key_for(
+            _model(), TrainingConfig(), train_x, flipped, test_x, test_y
+        )
+
+
+class TestHitFlow:
+    def test_second_fit_trains_zero_batches(self, cache, split):
+        config = TrainingConfig(epochs=2, batch_size=16)
+        model_a = _model()
+        history_a = Trainer(model_a, config, cache=cache).fit(*split)
+        assert cache.misses == 1 and cache.hits == 0
+
+        telemetry = Telemetry()
+        model_b = _model()
+        history_b = Trainer(
+            model_b, config, telemetry=telemetry, cache=cache
+        ).fit(*split)
+        assert cache.hits == 1
+        batches = sum(
+            record["value"] for record in telemetry.metrics.snapshot()
+            if record["name"] == METRIC_TRAIN_BATCHES
+        )
+        assert batches == 0, "a cache hit must not train a single batch"
+        for a, b in zip(model_a.get_weights(), model_b.get_weights()):
+            assert np.array_equal(a, b)
+        assert history_a.records == history_b.records
+
+    def test_hit_restores_same_model_as_scratch_run(self, cache, split):
+        config = TrainingConfig(epochs=2, batch_size=16)
+        Trainer(_model(), config, cache=cache).fit(*split)
+        cached_model = _model()
+        Trainer(cached_model, config, cache=cache).fit(*split)
+        scratch_model = _model()
+        Trainer(scratch_model, config).fit(*split)
+        for a, b in zip(cached_model.get_weights(), scratch_model.get_weights()):
+            assert np.array_equal(a, b)
+
+    def test_cross_backend_hit(self, cache, split):
+        Trainer(_model(), TrainingConfig(epochs=2, backend="fused"),
+                cache=cache).fit(*split)
+        Trainer(_model(), TrainingConfig(epochs=2, backend="reference"),
+                cache=cache).fit(*split)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_custom_optimizer_bypasses_cache(self, cache, split):
+        config = TrainingConfig(epochs=1)
+        Trainer(_model(), config, optimizer=SGD(0.01), cache=cache).fit(*split)
+        assert cache.hits == cache.misses == 0
+        assert not list(cache.directory.iterdir())
+
+
+class TestCorruption:
+    def _prime(self, cache, split):
+        config = TrainingConfig(epochs=1, batch_size=16)
+        Trainer(_model(), config, cache=cache).fit(*split)
+        key = cache.key_for(_model(), config, *split)
+        return config, key
+
+    def test_corrupt_meta_invalidates_and_retrains(self, cache, split):
+        config, key = self._prime(cache, split)
+        (cache.directory / f"{key}.meta.json").write_text("{not json")
+        model = _model()
+        Trainer(model, config, cache=cache).fit(*split)
+        assert cache.invalidations == 1
+        assert cache.hits == 0
+        scratch = _model()
+        Trainer(scratch, config).fit(*split)
+        for a, b in zip(model.get_weights(), scratch.get_weights()):
+            assert np.array_equal(a, b), "retrain after invalidation diverged"
+
+    def test_corrupt_weights_invalidates(self, cache, split):
+        config, key = self._prime(cache, split)
+        (cache.directory / f"{key}.weights.txt").write_text("garbage")
+        Trainer(_model(), config, cache=cache).fit(*split)
+        assert cache.invalidations == 1
+        # The damaged pair was deleted and rewritten by the retrain.
+        assert (cache.directory / f"{key}.weights.txt").exists()
+        Trainer(_model(), config, cache=cache).fit(*split)
+        assert cache.hits == 1
+
+    def test_schema_bump_invalidates(self, cache, split):
+        config, key = self._prime(cache, split)
+        meta_path = cache.directory / f"{key}.meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = 999
+        meta_path.write_text(json.dumps(meta))
+        Trainer(_model(), config, cache=cache).fit(*split)
+        assert cache.invalidations == 1
+
+    def test_shape_mismatch_leaves_model_untouched(self, cache, split):
+        """An entry whose weights don't fit the model must not half-mutate
+        it: the model is only written after the whole entry validates."""
+        config, key = self._prime(cache, split)
+        other = _model(hidden_size=16)
+        before = [w.copy() for w in other.get_weights()]
+        # Force the wrong entry under the other model's key.
+        other_key = cache.key_for(other, config, *split)
+        for suffix in (".weights.txt", ".meta.json"):
+            (cache.directory / f"{other_key}{suffix}").write_text(
+                (cache.directory / f"{key}{suffix}").read_text()
+            )
+        result = cache.load(other_key, other)
+        assert result is None
+        assert cache.invalidations == 1
+        for a, b in zip(before, other.get_weights()):
+            assert np.array_equal(a, b)

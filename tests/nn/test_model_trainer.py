@@ -147,6 +147,53 @@ class TestTrainer:
         with pytest.raises(ValueError):
             Trainer(model).fit(x, y[:-1], x, y)
 
+    def test_rejects_empty_eval_split(self, rng):
+        x, y = self._toy_data(rng)
+        model = SequenceClassifier(vocab_size=12, embedding_dim=4, hidden_size=6)
+        empty = np.zeros((0, x.shape[1]), dtype=int)
+        with pytest.raises(ValueError, match="empty test split"):
+            Trainer(model).fit(x, y, empty, np.zeros(0))
+
+    def test_rejects_mismatched_eval_split(self, rng):
+        x, y = self._toy_data(rng)
+        model = SequenceClassifier(vocab_size=12, embedding_dim=4, hidden_size=6)
+        with pytest.raises(ValueError, match="eval sequence/label count mismatch"):
+            Trainer(model).fit(x, y, x, y[:-1])
+
+    def test_evaluate_validates_split(self, rng):
+        x, y = self._toy_data(rng)
+        model = SequenceClassifier(vocab_size=12, embedding_dim=4, hidden_size=6)
+        trainer = Trainer(model)
+        with pytest.raises(ValueError, match="empty test split"):
+            trainer.evaluate(np.zeros((0, x.shape[1]), dtype=int), np.zeros(0))
+        with pytest.raises(ValueError, match="count mismatch"):
+            trainer.evaluate(x, y[:-1])
+
+    def test_epoch_loss_is_sample_weighted(self, rng):
+        """A short ragged final mini-batch must contribute by its sample
+        count, not as a full batch (the old unweighted-mean bias)."""
+        x, y = self._toy_data(rng, count=40)  # batch 16 -> 16 + 16 + 8
+        model = SequenceClassifier(vocab_size=12, embedding_dim=4, hidden_size=6)
+        trainer = Trainer(
+            model,
+            TrainingConfig(epochs=1, batch_size=16, eval_every=1, shuffle=False),
+        )
+        captured = []
+        original = trainer.kernel.train_batch
+
+        def spy(tokens, labels):
+            loss, grads = original(tokens, labels)
+            captured.append((loss, labels.shape[0]))
+            return loss, grads
+
+        trainer.kernel.train_batch = spy
+        history = trainer.fit(x, y, x, y)
+        assert [count for _, count in captured] == [16, 16, 8]
+        weighted = sum(loss * count for loss, count in captured) / 40
+        unweighted = sum(loss for loss, _ in captured) / 3
+        assert history.records[0].train_loss == weighted
+        assert history.records[0].train_loss != unweighted
+
     def test_history_peak(self):
         history = ConvergenceHistory()
         history.append(EpochRecord(1, 0.5, 0.8, 0.8, 0.8, 0.8))

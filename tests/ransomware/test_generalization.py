@@ -223,3 +223,63 @@ class TestServingStackParity:
             assert by_stream[stream.name].probability == pytest.approx(
                 float(expected[row]), abs=1e-12
             )
+
+
+class TestFoldParallelTrainingAndCache:
+    """The PR's contract: pool/backend/cache change *nothing* in the report."""
+
+    def test_workers_parity_and_merged_telemetry(self, tiny_run):
+        serial_report, serial_telemetry = tiny_run
+        telemetry = Telemetry()
+        pooled = evaluate_generalization(
+            dataclasses.replace(TINY_CONFIG, workers=2), telemetry=telemetry
+        )
+        assert pooled.as_dict() == serial_report.as_dict()
+
+        def gen_counters(session):
+            return sorted(
+                (r["name"], tuple(sorted(r["labels"].items())), r["value"])
+                for r in session.metrics.snapshot()
+                if r["type"] == "counter" and r["name"].startswith("repro_gen_")
+            )
+        assert gen_counters(telemetry) == gen_counters(serial_telemetry)
+
+    def test_fused_backend_parity(self, tiny_run):
+        serial_report, _ = tiny_run
+        fused = evaluate_generalization(
+            dataclasses.replace(TINY_CONFIG, train_backend="fused")
+        )
+        assert fused.as_dict() == serial_report.as_dict()
+
+    def test_warm_cache_trains_zero_models(self, tiny_run, tmp_path):
+        serial_report, _ = tiny_run
+        config = dataclasses.replace(TINY_CONFIG, cache_dir=str(tmp_path))
+        cold = evaluate_generalization(config)
+        telemetry = Telemetry()
+        warm = evaluate_generalization(config, telemetry=telemetry)
+        assert cold.as_dict() == warm.as_dict() == serial_report.as_dict()
+        counts = {}
+        for record in telemetry.metrics.snapshot():
+            if record["type"] == "counter":
+                counts[record["name"]] = (
+                    counts.get(record["name"], 0) + record["value"]
+                )
+        models = len(warm.modalities) * len(warm.fold_sets)
+        assert counts.get("repro_train_cache_hits_total") == models
+        assert counts.get("repro_train_batches_total", 0) == 0
+
+    def test_as_dict_config_keys_unchanged(self, tiny_run):
+        """The committed BENCH_generalization.json schema must not grow
+        keys for the new knobs (workers/backend/cache are run mechanics,
+        not recipe)."""
+        report, _ = tiny_run
+        assert sorted(report.as_dict()["config"]) == [
+            "epochs", "folds", "held_out_per_fold", "modalities",
+            "optimizations", "scale", "seed", "sequence_length", "threshold",
+        ]
+
+    def test_config_validates_new_fields(self):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            GeneralizationConfig(workers=0)
+        with pytest.raises(ValueError, match="unknown train backend"):
+            GeneralizationConfig(train_backend="turbo")
