@@ -24,7 +24,13 @@ Commands cover the operational loop a data-center operator would run:
 * ``generalize`` — leave-k-families-out evaluation across the API-call,
   block-I/O, and filesystem signal modalities, reporting per-family
   held-out recall and the in-distribution-vs-held-out recall gap (see
-  ``docs/generalization.md``).
+  ``docs/generalization.md``);
+* ``respond`` — train a detector in-process, replay an attack scenario
+  (ransomware plus benign streams, any signal modality) against a
+  self-protecting drive under the graduated response policy, and print
+  the enforcement report: detection latency, bytes blocked vs admitted,
+  benign false blocks, and the verified hash-chained audit log (see
+  ``docs/response.md``).
 
 The global ``--telemetry <path>`` flag (before the subcommand) records
 structured telemetry — counters, latency histograms, and kernel-level
@@ -718,6 +724,146 @@ def _run_generalize(args) -> int:
     return 0
 
 
+def _add_respond_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "respond",
+        help="replay an attack scenario under the graduated response policy",
+    )
+    parser.add_argument("--modality", default="api",
+                        choices=("api", "block_io", "filesystem"),
+                        help="signal modality to train and replay (default api)")
+    parser.add_argument("--ransomware", type=int, default=1,
+                        help="ransomware streams in the scenario (default 1)")
+    parser.add_argument("--benign", type=int, default=3,
+                        help="benign streams in the scenario (default 3)")
+    parser.add_argument("--benign-length", type=int, default=300,
+                        help="benign trace length in events (default 300)")
+    parser.add_argument("--threshold", type=float, default=0.7,
+                        help="write-block threshold; the confirmation "
+                             "streak counts windows at or above it "
+                             "(default 0.7)")
+    parser.add_argument("--quarantine-threshold", type=float, default=0.95,
+                        help="stream-quarantine threshold (default 0.95)")
+    parser.add_argument("--kill-threshold", type=float, default=None,
+                        help="kill threshold (default: kill rung disabled)")
+    parser.add_argument("--confirmations", type=int, default=4,
+                        help="consecutive confirmed windows before "
+                             "escalating (default 4)")
+    parser.add_argument("--allow-kill", action="store_true",
+                        help="unlock the destructive kill rung (otherwise "
+                             "it is gated and audited)")
+    parser.add_argument("--allow-restore", action="store_true",
+                        help="unlock snapshot restore after a kill")
+    parser.add_argument("--monitor-threshold", type=float, default=0.5)
+    parser.add_argument("--stride", type=int, default=5)
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="training dataset scale (default 0.08)")
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--sequence-length", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--user-objects", type=int, default=16,
+                        help="pre-seeded user objects the attack "
+                             "overwrites (default 16)")
+    parser.add_argument("--audit", metavar="PATH", default=None,
+                        help="write the hash-chained audit log (JSON "
+                             "lines) to PATH")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full report as JSON to PATH")
+    parser.set_defaults(handler=_run_respond)
+
+
+def _run_respond(args) -> int:
+    import json
+
+    from repro.core.engine import engine_at_level
+    from repro.hw.smartssd import SmartSSD
+    from repro.ransomware.replay import ScenarioReplay, build_scenario
+    from repro.ransomware.traces.adapters import MODALITIES
+    from repro.response.policy import ResponsePolicy
+
+    telemetry = getattr(args, "_telemetry", None)
+    modality = MODALITIES[args.modality]
+    print(f"[train] {args.modality}: scale {args.scale}, "
+          f"{args.epochs} epochs, window {args.sequence_length}")
+    dataset = modality.build_dataset(
+        scale=args.scale, sequence_length=args.sequence_length, seed=args.seed
+    )
+    train_split, test_split = dataset.train_test_split(0.2, seed=args.seed)
+    model = SequenceClassifier(vocab_size=modality.vocabulary.size,
+                               seed=args.seed)
+    Trainer(
+        model,
+        TrainingConfig(epochs=args.epochs, eval_every=args.epochs,
+                       learning_rate=0.005, seed=args.seed),
+    ).fit(train_split.sequences, train_split.labels,
+          test_split.sequences, test_split.labels)
+    engine = engine_at_level(
+        model, OptimizationLevel.FIXED_POINT,
+        sequence_length=args.sequence_length,
+    )
+
+    policy = ResponsePolicy(
+        observe_threshold=args.threshold,
+        write_block_threshold=args.threshold,
+        quarantine_threshold=(
+            None if args.quarantine_threshold is None
+            else max(args.threshold, args.quarantine_threshold)
+        ),
+        kill_threshold=args.kill_threshold,
+        confirmations=args.confirmations,
+        allow_kill=args.allow_kill,
+        allow_restore=args.allow_restore,
+    )
+    streams = build_scenario(
+        args.modality, ransomware=args.ransomware, benign=args.benign,
+        seed=args.seed, benign_length=args.benign_length,
+    )
+    storage = SmartSSD()
+    replay = ScenarioReplay(
+        engine, storage, policy=policy,
+        monitor_threshold=args.monitor_threshold, stride=args.stride,
+        telemetry=telemetry,
+    )
+    user_keys = replay.seed_user_objects(count=args.user_objects)
+    print(f"[replay] {len(streams)} streams "
+          f"({args.ransomware} ransomware, {args.benign} benign), "
+          f"{args.user_objects} user objects at risk")
+    outcomes = replay.run(streams, seed=args.seed, user_keys=user_keys)
+    report = replay.report(outcomes)
+
+    for outcome in outcomes.values():
+        kind = "ransomware" if outcome.is_ransomware else "benign"
+        enforced = (
+            f"{outcome.final_action} at window "
+            f"{outcome.enforced_window_index} "
+            f"(latency {outcome.detection_latency_tokens} tokens)"
+            if outcome.enforced_window_index is not None else "not enforced"
+        )
+        print(f"  {outcome.name:<24s} {kind:<10s} "
+              f"blocked {outcome.bytes_blocked:>10d} B / admitted "
+              f"{outcome.bytes_admitted:>10d} B  {enforced}")
+    print(f"[storage] {report['storage']}")
+    print(f"[response] actions {report['response']['actions']}, "
+          f"{report['response']['audit_records']} audit records, "
+          f"head {report['audit_head'][:16]}…")
+    replay.audit.verify()
+    print("[audit] hash chain verified")
+    if args.audit:
+        replay.audit.write(args.audit)
+        print(f"[audit] written to {args.audit}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    benign_blocked = sum(
+        o.writes_blocked for o in outcomes.values() if not o.is_ransomware
+    )
+    if benign_blocked:
+        print(f"warning: {benign_blocked} benign writes blocked")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -752,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_serve_command(subparsers)
     _add_control_plane_command(subparsers)
     _add_generalize_command(subparsers)
+    _add_respond_command(subparsers)
     return parser
 
 

@@ -233,6 +233,11 @@ class ControlPlaneConfig:
         Optional event-count guard handed to the simulator each round
         (``None`` = unguarded; million-stream rounds legitimately fire
         hundreds of thousands of events).
+    on_verdict:
+        Optional per-verdict callback handed to the
+        :class:`~repro.core.serving.FleetServer` — typically a
+        :class:`~repro.response.policy.FleetResponder`, closing the
+        verdict → action loop at fleet scale (see ``docs/response.md``).
     """
 
     round_us: int = 5_000
@@ -246,6 +251,7 @@ class ControlPlaneConfig:
     sessions: SessionConfig = dataclasses.field(default_factory=SessionConfig)
     backend: str | None = None
     max_events_per_round: int | None = None
+    on_verdict: object = None
 
     def __post_init__(self) -> None:
         if self.round_us < 1:
@@ -438,6 +444,7 @@ class ControlPlane:
             engines, streams=[], config=self.config.serving,
             telemetry=telemetry, router=self.router.device_of,
             on_device_failed=self._on_device_failed,
+            on_verdict=self.config.on_verdict,
         )
         self.server.begin_tokens(self.config.sessions, self.config.backend)
 
@@ -506,6 +513,22 @@ class ControlPlane:
     def class_of(self, stream: str) -> str:
         """The QoS class name a stream maps to."""
         return self.config.classes[self._classify(stream)].name
+
+    # ------------------------------------------------------------------
+    # Response actions (verdict-driven; see docs/response.md)
+    # ------------------------------------------------------------------
+
+    def quarantine_stream(self, stream: str) -> None:
+        """Shed a stream's future tokens fleet-wide (delegates to the server)."""
+        self.server.quarantine_stream(stream)
+
+    def release_stream(self, stream: str) -> None:
+        """Lift a stream quarantine."""
+        self.server.release_stream(stream)
+
+    def kill_stream(self, stream: str) -> None:
+        """Quarantine a stream and drop its session state."""
+        self.server.kill_stream(stream)
 
     # ------------------------------------------------------------------
     # Internal helpers

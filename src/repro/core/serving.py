@@ -53,6 +53,7 @@ from repro.hw.sim import Simulator
 SHED_QUEUE_FULL = "queue_full"
 SHED_NO_DEVICE = "no_device"
 SHED_RETRIES = "retries"
+SHED_QUARANTINED = "quarantined"
 
 #: Retry reasons (the ``reason`` label of ``repro_serve_retries_total``).
 RETRY_TIMEOUT = "timeout"
@@ -418,6 +419,17 @@ class FleetServer:
         owner (the control plane) reassigns the dead device's shards so
         the subsequent checkpoint migration lands per its placement
         policy.
+    on_verdict:
+        Optional callable invoked with every
+        :class:`StreamVerdictRecord` the moment it is delivered (on the
+        simulated clock) — the hook the response subsystem
+        (:class:`~repro.response.policy.FleetResponder`) uses to close
+        the verdict → action loop.  If the callable has a ``bind``
+        method it is called with this server first, so a bare responder
+        can be passed directly.  Actions are available immediately:
+        :meth:`quarantine_stream` sheds the stream's future arrivals
+        (``tokens_shed["quarantined"]``), :meth:`kill_stream`
+        additionally drops its session state.
     """
 
     def __init__(
@@ -431,6 +443,7 @@ class FleetServer:
         workers: int = 0,
         router=None,
         on_device_failed=None,
+        on_verdict=None,
     ):
         engines = list(engines)
         if not engines:
@@ -455,6 +468,10 @@ class FleetServer:
         self.telemetry = telemetry
         self._router = router
         self._on_device_failed = on_device_failed
+        if on_verdict is not None and hasattr(on_verdict, "bind"):
+            on_verdict.bind(self)
+        self._on_verdict = on_verdict
+        self._quarantined: set = set()
         if router is not None and planner is not None:
             raise ValueError("router and planner are mutually exclusive")
         fault_plans = fault_plans or {}
@@ -794,6 +811,9 @@ class FleetServer:
 
     def _token_arrive(self, arrival: TokenArrival) -> None:
         self._tokens_offered += 1
+        if arrival.stream in self._quarantined:
+            self._shed_token(arrival, SHED_QUARANTINED)
+            return
         device = self._route(arrival.stream)
         if device is None:
             self._shed_token(arrival, SHED_NO_DEVICE)
@@ -915,7 +935,7 @@ class FleetServer:
             self._token_latencies.append(now - arrival.arrival_us)
             arrived_at[arrival.stream] = arrival.arrival_us
         for verdict in verdicts:
-            self._verdict_records.append(StreamVerdictRecord(
+            record = StreamVerdictRecord(
                 stream=verdict.session,
                 window_index=verdict.window_index,
                 probability=verdict.probability,
@@ -923,7 +943,10 @@ class FleetServer:
                 device=device.index,
                 completion_us=now,
                 latency_us=now - arrived_at.get(verdict.session, now),
-            ))
+            )
+            self._verdict_records.append(record)
+            if self._on_verdict is not None:
+                self._on_verdict(record)
         self._log(
             "tick_complete", tick=tick_id, device=device.index,
             verdicts=len(verdicts), aborted=aborted,
@@ -1083,6 +1106,54 @@ class FleetServer:
         list as append-only.
         """
         return self._verdict_records
+
+    # ------------------------------------------------------------------
+    # Session-mode response actions (quarantine / kill)
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined_streams(self) -> frozenset:
+        """Streams currently shed at admission."""
+        return frozenset(self._quarantined)
+
+    def quarantine_stream(self, stream) -> None:
+        """Shed all future arrivals for ``stream`` at admission.
+
+        Already-buffered tokens still tick through (their session steps
+        are in flight on the simulated clock); the stream's window state
+        is kept so triage can continue to read it.  Idempotent.
+        """
+        self._quarantined.add(stream)
+        self._log("stream_quarantined", stream=stream)
+
+    def release_stream(self, stream) -> None:
+        """Lift a quarantine (operator action after triage)."""
+        if stream in self._quarantined:
+            self._quarantined.discard(stream)
+            self._log("stream_released", stream=stream)
+
+    def kill_stream(self, stream) -> None:
+        """Quarantine ``stream`` and drop its session state everywhere.
+
+        The escalation beyond :meth:`quarantine_stream`: buffered tokens
+        are discarded (counted as ``tokens_shed["quarantined"]``) and the
+        owning device's session slot is closed, so the stream cannot
+        produce further verdicts.  Idempotent.
+        """
+        self._quarantined.add(stream)
+        for device in self.devices:
+            if device.token_buffer:
+                keep = []
+                for entry in device.token_buffer:
+                    if entry[1].stream == stream:
+                        self._shed_token(entry[1], SHED_QUARANTINED)
+                    else:
+                        keep.append(entry)
+                device.token_buffer = keep
+                device.buffer_streams.pop(stream, None)
+            if device.sessions is not None and stream in device.sessions.known_keys():
+                device.sessions.close(stream)
+        self._log("stream_killed", stream=stream)
 
     # ------------------------------------------------------------------
     # Session-mode fleet membership (drain / standby / rebalance)

@@ -5,6 +5,11 @@ the FPGA directly from the SSD over the P2P path, so the SSD model only
 needs first-order read/write behaviour: fixed command latency plus payload
 at device bandwidth, clamped by the PCIe Gen3 x4 front end, and simple
 capacity bookkeeping for stored objects.
+
+Objects may optionally carry a real payload (``data=``): the response
+subsystem's copy-on-write snapshots restore protected objects and verify
+the result *byte for byte*, which needs actual content, not just sizes.
+Size-only objects stay supported — payloads are strictly additive.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ class NvmeSsd:
         if min(self.read_bandwidth_bytes_per_second, self.write_bandwidth_bytes_per_second) <= 0:
             raise ValueError("bandwidths must be positive")
         self._objects: dict = {}
+        self._data: dict = {}
         self._used = 0
         self.reads_issued = 0
         self.writes_issued = 0
@@ -42,10 +48,19 @@ class NvmeSsd:
     def used_bytes(self) -> int:
         return self._used
 
-    def write_object(self, key: str, num_bytes: int) -> float:
-        """Store an object; returns the simulated write time in seconds."""
+    def write_object(self, key: str, num_bytes: int, data: bytes | None = None) -> float:
+        """Store an object; returns the simulated write time in seconds.
+
+        ``data``, when given, is the object's actual payload and must be
+        exactly ``num_bytes`` long; omitting it keeps the historical
+        size-only bookkeeping.
+        """
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if data is not None and len(data) != num_bytes:
+            raise ValueError(
+                f"payload is {len(data)} bytes but num_bytes={num_bytes}"
+            )
         existing = self._objects.get(key, 0)
         if self._used - existing + num_bytes > self.capacity_bytes:
             raise MemoryError(
@@ -54,8 +69,36 @@ class NvmeSsd:
             )
         self._used = self._used - existing + num_bytes
         self._objects[key] = num_bytes
+        if data is not None:
+            self._data[key] = data
+        else:
+            self._data.pop(key, None)
         self.writes_issued += 1
         return self.write_latency_seconds + num_bytes / self.write_bandwidth_bytes_per_second
+
+    def has_object(self, key: str) -> bool:
+        """Whether an object with that key is stored."""
+        return key in self._objects
+
+    def object_size(self, key: str) -> int:
+        """Stored size of an object in bytes (no simulated read issued)."""
+        if key not in self._objects:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        return self._objects[key]
+
+    def object_keys(self) -> tuple:
+        """All stored object keys, sorted (deterministic iteration)."""
+        return tuple(sorted(self._objects))
+
+    def read_object_data(self, key: str) -> bytes | None:
+        """The stored payload, or ``None`` for size-only objects.
+
+        Metadata access on the simulated device — no read command is
+        issued; pair with :meth:`read_object` to account the time.
+        """
+        if key not in self._objects:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        return self._data.get(key)
 
     def read_object(self, key: str) -> tuple:
         """Read a stored object; returns ``(num_bytes, seconds)``.
@@ -84,4 +127,5 @@ class NvmeSsd:
         num_bytes = self._objects.pop(key, None)
         if num_bytes is None:
             raise KeyError(f"{self.name}: no object {key!r}")
+        self._data.pop(key, None)
         self._used -= num_bytes

@@ -51,7 +51,9 @@ from repro.ransomware.families import (
     TOTAL_VARIANTS,
     table_ii,
 )
-from repro.ransomware.mitigation import (
+# The mitigation surface moved to repro.response (see docs/response.md);
+# import from the new home so the deprecation shim stays silent here.
+from repro.response.legacy import (
     MitigationEngine,
     ProtectedStorage,
     QuarantineEvent,
@@ -64,7 +66,16 @@ from repro.ransomware.analysis import (
     source_summary,
 )
 from repro.ransomware.monitor import ProcessMonitor
-from repro.ransomware.replay import HostReplay, PerProcessDetectorBank, ProcessOutcome
+from repro.ransomware.replay import (
+    HostReplay,
+    PerProcessDetectorBank,
+    ProcessOutcome,
+    ScenarioReplay,
+    ScenarioStream,
+    StreamOutcome,
+    build_scenario,
+    data_loss_accounting,
+)
 from repro.ransomware.sandbox import ApiTrace, CuckooSandbox, OS_VERSIONS
 
 __all__ = [
@@ -100,6 +111,9 @@ __all__ = [
     "QuarantineEvent",
     "RansomwareDetector",
     "ReportParseError",
+    "ScenarioReplay",
+    "ScenarioStream",
+    "StreamOutcome",
     "ThreatReport",
     "TOTAL_VARIANTS",
     "UpdateResult",
@@ -107,7 +121,9 @@ __all__ = [
     "VOCABULARY_SIZE",
     "WriteBlocked",
     "build_dataset",
+    "build_scenario",
     "category_distribution",
+    "data_loss_accounting",
     "category_divergence",
     "per_family_detection",
     "source_summary",

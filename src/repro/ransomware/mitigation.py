@@ -1,155 +1,50 @@
-"""Real-time in-CSD mitigation (paper Sections I and IV).
+"""Deprecated location — the mitigation surface moved to :mod:`repro.response`.
 
-The paper's argument for storage-resident detection is that "such a
-defense would allow near-instantaneous mitigation" — the classifier sits
-next to the data it protects, so the moment a verdict fires, subsequent
-writes from the offending process can be refused *at the drive*, before
-further files are encrypted.
+The in-CSD mitigation engine grew into the verdict-driven response and
+recovery subsystem (graduated escalation ladder, copy-on-write snapshots,
+hash-chained audit logs — see ``docs/response.md``).  The historical
+classes live on, reimplemented on the new engine, in
+:mod:`repro.response.legacy`; this module re-exports them so existing
+imports keep working.
 
-:class:`ProtectedStorage` wraps the SSD model with per-process write
-admission; :class:`MitigationEngine` converts detector verdicts into
-quarantine state and accounts what was stopped.
+``MitigationEngine`` and ``ProtectedStorage`` are re-exported silently
+(their behaviour is unchanged).  ``WriteBlocked`` and ``QuarantineEvent``
+warn on access — new code should catch
+:class:`repro.response.WriteRefused` and read the audit log instead.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 
-from repro.hw.ssd import NvmeSsd
-from repro.ransomware.detector import Verdict
+from repro.response.legacy import MitigationEngine, ProtectedStorage
 
+__all__ = [
+    "MitigationEngine",
+    "ProtectedStorage",
+    "QuarantineEvent",
+    "WriteBlocked",
+]
 
-class WriteBlocked(PermissionError):
-    """A quarantined process attempted a write the CSD refused."""
-
-
-@dataclasses.dataclass(frozen=True)
-class QuarantineEvent:
-    """Record of a process being quarantined."""
-
-    process_id: int
-    window_index: int
-    probability: float
-
-
-class ProtectedStorage:
-    """Per-process write admission in front of an NVMe SSD model.
-
-    Parameters
-    ----------
-    ssd:
-        The underlying drive.
-    """
-
-    def __init__(self, ssd: NvmeSsd):
-        self.ssd = ssd
-        self._quarantined: set = set()
-        self.blocked_writes = 0
-        self.blocked_bytes = 0
-        self.allowed_writes = 0
-
-    @property
-    def quarantined_processes(self) -> frozenset:
-        return frozenset(self._quarantined)
-
-    def quarantine(self, process_id: int) -> None:
-        """Refuse all further writes from ``process_id``."""
-        self._quarantined.add(process_id)
-
-    def release(self, process_id: int) -> None:
-        """Lift a quarantine (operator action after triage)."""
-        self._quarantined.discard(process_id)
-
-    def write(self, process_id: int, key: str, num_bytes: int) -> float:
-        """Admit or refuse one write; returns the simulated write seconds.
-
-        Raises
-        ------
-        WriteBlocked
-            If the process is quarantined.  The write never reaches the
-            drive — this is the "immediately thwart any subsequent
-            encryption" behaviour.
-        """
-        if process_id in self._quarantined:
-            self.blocked_writes += 1
-            self.blocked_bytes += num_bytes
-            raise WriteBlocked(
-                f"process {process_id} is quarantined; write of {num_bytes} "
-                f"bytes to {key!r} refused"
-            )
-        self.allowed_writes += 1
-        return self.ssd.write_object(key, num_bytes)
+_RETIRED = {
+    "WriteBlocked": (
+        "repro.ransomware.mitigation.WriteBlocked is deprecated; catch "
+        "repro.response.WriteRefused (raised by both the legacy "
+        "ProtectedStorage and the SmartSSD protected write path)"
+    ),
+    "QuarantineEvent": (
+        "repro.ransomware.mitigation.QuarantineEvent is deprecated; use "
+        "repro.response.legacy.QuarantineEvent, or read the response "
+        "audit log (repro.response.AuditLog) for the full transition "
+        "history"
+    ),
+}
 
 
-class MitigationEngine:
-    """Turns detector verdicts into storage quarantine.
+def __getattr__(name: str):
+    if name in _RETIRED:
+        warnings.warn(_RETIRED[name], DeprecationWarning, stacklevel=2)
+        from repro.response import legacy
 
-    Parameters
-    ----------
-    storage:
-        The protected storage front end.
-    quarantine_threshold:
-        Verdict probability required to count toward quarantine; defaults
-        to acting on any positive verdict (the detector already
-        thresholds).
-    confirmations:
-        Number of *consecutive* qualifying verdicts required before the
-        process is quarantined.  1 (the default) quarantines on the first
-        alarm; higher values trade a few windows of reaction time for
-        robustness against isolated borderline windows — ransomware's
-        encryption phase produces long runs of positives, benign blips do
-        not.
-    """
-
-    def __init__(
-        self,
-        storage: ProtectedStorage,
-        quarantine_threshold: float = 0.0,
-        confirmations: int = 1,
-    ):
-        if not 0.0 <= quarantine_threshold < 1.0:
-            raise ValueError(
-                f"quarantine_threshold must be in [0, 1), got {quarantine_threshold}"
-            )
-        if confirmations < 1:
-            raise ValueError(f"confirmations must be >= 1, got {confirmations}")
-        self.storage = storage
-        self.quarantine_threshold = quarantine_threshold
-        self.confirmations = confirmations
-        self.events: list = []
-        self._streaks: dict = {}
-
-    def handle_verdict(self, process_id: int, verdict: Verdict) -> bool:
-        """Apply one verdict; returns True if the process is quarantined.
-
-        Negative (or below-threshold) verdicts reset the process's
-        confirmation streak.
-        """
-        if not verdict.is_ransomware or verdict.probability < self.quarantine_threshold:
-            self._streaks[process_id] = 0
-            return process_id in self.storage.quarantined_processes
-        streak = self._streaks.get(process_id, 0) + 1
-        self._streaks[process_id] = streak
-        if streak < self.confirmations:
-            return False
-        already = process_id in self.storage.quarantined_processes
-        self.storage.quarantine(process_id)
-        if not already:
-            self.events.append(
-                QuarantineEvent(
-                    process_id=process_id,
-                    window_index=verdict.window_index,
-                    probability=verdict.probability,
-                )
-            )
-        return True
-
-    def summary(self) -> dict:
-        """Mitigation statistics for reporting."""
-        return {
-            "quarantined_processes": len(self.storage.quarantined_processes),
-            "quarantine_events": len(self.events),
-            "blocked_writes": self.storage.blocked_writes,
-            "blocked_bytes": self.storage.blocked_bytes,
-            "allowed_writes": self.storage.allowed_writes,
-        }
+        return getattr(legacy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

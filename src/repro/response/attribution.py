@@ -1,0 +1,117 @@
+"""Occlusion (leave-one-out) per-token attribution over a verdict window.
+
+When a window fires, the operator's first question is *which calls did
+it*: a response that quarantines a process should be able to point at
+the `NtWriteFile`/`CryptEncrypt` burst (or the high-entropy overwrite
+trigram, in the block-I/O modality) that convinced the classifier.
+
+The method is deliberately the simplest faithful one: re-score the
+window once per position with that position's token replaced by a
+baseline token, all in **one** :meth:`infer_batch` call.  The score of
+position *i* is ``p(original) - p(occluded_i)`` — how much confidence
+that token was worth.  Because it reuses the engine's own batched
+inference (batch-size invariant, bit-exact across backends), attribution
+is deterministic: same window, same weights → bit-identical scores.
+
+Cost: one extra batch of ``window_length`` sequences per attributed
+verdict, which is why the policy layer computes it only at enforcement
+escalations, not on every verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenAttribution:
+    """One window position's leave-one-out score."""
+
+    position: int       # index within the window
+    token: int          # the original token id at that position
+    score: float        # p(original) - p(occluded); higher = more culpable
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowAttribution:
+    """Per-token attribution of one firing window."""
+
+    window_index: int
+    probability: float      # the un-occluded window probability
+    baseline_token: int
+    scores: tuple           # one TokenAttribution per window position
+
+    def top(self, k: int) -> tuple:
+        """The ``k`` most culpable positions, highest score first.
+
+        Ties break on position (earlier first) so the result is total-
+        ordered and deterministic.
+        """
+        ranked = sorted(self.scores, key=lambda a: (-a.score, a.position))
+        return tuple(ranked[:max(0, int(k))])
+
+    def as_dict(self, top_k: int | None = None) -> dict:
+        chosen = self.scores if top_k is None else self.top(top_k)
+        return {
+            "window_index": self.window_index,
+            "probability": self.probability,
+            "baseline_token": self.baseline_token,
+            "top": [[a.position, a.token, a.score] for a in chosen],
+        }
+
+
+def attribute_window(engine, window, window_index: int = 0,
+                     baseline_token: int = 0,
+                     max_batch: int = 128) -> WindowAttribution:
+    """Leave-one-out attribution of one window via the engine itself.
+
+    Parameters
+    ----------
+    engine:
+        A loaded :class:`~repro.core.engine.CSDInferenceEngine`; the
+        window length must match its configured sequence length.
+    window:
+        The firing window's token ids, shape ``(window_length,)``.
+    baseline_token:
+        The token each position is replaced with when occluded.  Token 0
+        by default — any fixed vocabulary entry works; what matters for
+        determinism is that it is constant.
+    max_batch:
+        Chunk size for the occlusion batch (``infer_batch`` is
+        batch-size invariant, so chunking never changes a bit).
+    """
+    window = np.asarray(window, dtype=np.int64)
+    if window.ndim != 1:
+        raise ValueError(f"window must be 1-D, got shape {window.shape}")
+    length = int(window.shape[0])
+    expected = engine.config.dimensions.sequence_length
+    if length != expected:
+        raise ValueError(
+            f"window length {length} does not match the engine's "
+            f"sequence length {expected}"
+        )
+    variants = np.tile(window, (length + 1, 1))
+    for position in range(length):
+        variants[position + 1, position] = baseline_token
+    probabilities: list = []
+    for start in range(0, length + 1, max(1, int(max_batch))):
+        chunk = variants[start:start + max(1, int(max_batch))]
+        probabilities.append(engine.infer_batch(chunk).probabilities)
+    probs = np.concatenate(probabilities)
+    original = float(probs[0])
+    scores = tuple(
+        TokenAttribution(
+            position=position,
+            token=int(window[position]),
+            score=float(original - probs[position + 1]),
+        )
+        for position in range(length)
+    )
+    return WindowAttribution(
+        window_index=int(window_index),
+        probability=original,
+        baseline_token=int(baseline_token),
+        scores=scores,
+    )

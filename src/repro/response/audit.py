@@ -1,0 +1,222 @@
+"""Tamper-evident, hash-chained response audit log.
+
+Every response transition (escalation, gated destructive action,
+restore) is appended as one record whose hash covers its canonical JSON
+payload *plus the previous record's hash* — mutating, dropping, or
+reordering any record breaks every hash after it (:meth:`AuditLog.verify`).
+
+Determinism is load-bearing: records carry only simulated, stream-local
+coordinates (the verdict's window index — never wall-clock time, never
+device indices), so
+
+* two identical replays produce **bit-identical** logs, and
+* a fault-injected replay produces the identical *per-stream* chains as
+  the undisturbed run (composing the serving layer's verdict-sequence
+  invariance under failover — see ``docs/serving.md``), even though the
+  global interleaving across streams may shift with timing.
+
+Both granularities are maintained: one global chain over all records in
+append order, and one chain per stream (:meth:`AuditLog.stream_head`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+#: The ``prev_hash`` of the first record in any chain.
+GENESIS_HASH = "0" * 64
+
+
+class AuditTamperError(RuntimeError):
+    """The audit chain failed verification."""
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _entry_hash(payload: dict, prev_hash: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(prev_hash.encode("ascii"))
+    digest.update(b"\n")
+    digest.update(_canonical(payload))
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditRecord:
+    """One hash-chained response transition.
+
+    ``at`` is the stream-local window index of the verdict that caused
+    the transition (simulated coordinates; failure-invariant).
+    ``stream_sequence``/``stream_hash`` chain the record within its
+    stream, independently of the global chain.
+    """
+
+    sequence: int
+    stream: str
+    at: int
+    event: str
+    action: str
+    details: dict
+    prev_hash: str
+    entry_hash: str
+    stream_sequence: int
+    stream_hash: str
+
+    def payload(self) -> dict:
+        """The hashed content (global-chain flavour)."""
+        return {
+            "sequence": self.sequence,
+            "stream": self.stream,
+            "at": self.at,
+            "event": self.event,
+            "action": self.action,
+            "details": self.details,
+        }
+
+    def stream_payload(self) -> dict:
+        """The hashed content of the per-stream chain flavour."""
+        return {
+            "stream_sequence": self.stream_sequence,
+            "stream": self.stream,
+            "at": self.at,
+            "event": self.event,
+            "action": self.action,
+            "details": self.details,
+        }
+
+    def as_dict(self) -> dict:
+        record = self.payload()
+        record["prev_hash"] = self.prev_hash
+        record["entry_hash"] = self.entry_hash
+        record["stream_sequence"] = self.stream_sequence
+        record["stream_hash"] = self.stream_hash
+        return record
+
+
+class AuditLog:
+    """Append-only hash chain of response transitions."""
+
+    def __init__(self):
+        self._records: list = []
+        self._head = GENESIS_HASH
+        self._stream_heads: dict = {}
+        self._stream_counts: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple:
+        return tuple(self._records)
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the latest record (genesis when empty)."""
+        return self._head
+
+    def stream_head(self, stream) -> str:
+        """Head of one stream's own chain (genesis when unseen)."""
+        return self._stream_heads.get(str(stream), GENESIS_HASH)
+
+    def stream_heads(self) -> dict:
+        """All per-stream chain heads, keyed by stream name."""
+        return dict(self._stream_heads)
+
+    def append(self, stream, at: int, event: str, action: str,
+               details: dict | None = None) -> AuditRecord:
+        """Append one transition; returns the chained record.
+
+        ``details`` must be JSON-serialisable (it is hashed via its
+        canonical JSON form).
+        """
+        name = str(stream)
+        details = details or {}
+        sequence = len(self._records)
+        stream_sequence = self._stream_counts.get(name, 0)
+        payload = {
+            "sequence": sequence, "stream": name, "at": int(at),
+            "event": event, "action": action, "details": details,
+        }
+        stream_payload = {
+            "stream_sequence": stream_sequence, "stream": name,
+            "at": int(at), "event": event, "action": action,
+            "details": details,
+        }
+        prev = self._head
+        stream_prev = self._stream_heads.get(name, GENESIS_HASH)
+        record = AuditRecord(
+            sequence=sequence,
+            stream=name,
+            at=int(at),
+            event=event,
+            action=action,
+            details=details,
+            prev_hash=prev,
+            entry_hash=_entry_hash(payload, prev),
+            stream_sequence=stream_sequence,
+            stream_hash=_entry_hash(stream_payload, stream_prev),
+        )
+        self._records.append(record)
+        self._head = record.entry_hash
+        self._stream_heads[name] = record.stream_hash
+        self._stream_counts[name] = stream_sequence + 1
+        return record
+
+    def verify(self) -> bool:
+        """Recompute both chains; raises :class:`AuditTamperError` on any break."""
+        head = GENESIS_HASH
+        stream_heads: dict = {}
+        for record in self._records:
+            expected = _entry_hash(record.payload(), head)
+            if expected != record.entry_hash:
+                raise AuditTamperError(
+                    f"record {record.sequence}: entry hash mismatch"
+                )
+            stream_prev = stream_heads.get(record.stream, GENESIS_HASH)
+            if _entry_hash(record.stream_payload(), stream_prev) != record.stream_hash:
+                raise AuditTamperError(
+                    f"record {record.sequence}: stream hash mismatch"
+                )
+            head = record.entry_hash
+            stream_heads[record.stream] = record.stream_hash
+        if head != self._head:
+            raise AuditTamperError("head hash does not match the chain")
+        return True
+
+    def to_jsonl(self) -> str:
+        """The whole log as canonical JSON lines (bit-stable)."""
+        return "".join(
+            json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+            for record in self._records
+        )
+
+    def write(self, path) -> None:
+        """Write the JSONL log to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def read(cls, path) -> "AuditLog":
+        """Load and verify a JSONL log previously written by :meth:`write`."""
+        log = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                record = log.append(
+                    entry["stream"], entry["at"], entry["event"],
+                    entry["action"], entry["details"],
+                )
+                if (record.entry_hash != entry["entry_hash"]
+                        or record.stream_hash != entry["stream_hash"]):
+                    raise AuditTamperError(
+                        f"record {entry['sequence']}: stored hashes do not "
+                        "match the recomputed chain"
+                    )
+        return log

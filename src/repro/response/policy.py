@@ -1,0 +1,533 @@
+"""The response policy engine: verdict confidence → graduated actions.
+
+:class:`ResponsePolicy` is the declarative part — thresholds per
+escalation rung, a consecutive-confirmation requirement, and explicit
+opt-in flags for the destructive rungs.  :class:`ResponseEngine` is the
+per-stream state machine that applies it: verdicts arrive, streaks
+accumulate, and actions escalate monotonically along
+
+    observe → write_block → quarantine_stream → kill → restore_snapshot
+
+with every transition appended to the hash-chained
+:class:`~repro.response.audit.AuditLog` and (optionally) attributed back
+to the window tokens that caused it via
+:func:`~repro.response.attribution.attribute_window`.
+
+Enforcement is pluggable: the engine calls optional hook methods
+(``observe``/``write_block``/``quarantine``/``kill``/``restore``) on an
+*enforcer* object.  :class:`SmartSsdEnforcer` maps them onto the
+self-protecting :class:`~repro.hw.smartssd.SmartSSD` write path;
+:class:`FleetResponder` bridges a whole
+:class:`~repro.core.serving.FleetServer` (quarantine the stream at the
+fleet, snapshot the backing volume on the owning drive).
+
+Everything here is deterministic: no wall clock, no randomness — the
+audit log of a replay is bit-identical run to run, and per-stream chains
+are invariant under mid-run drive failures (the serving layer guarantees
+failure-invariant per-stream verdict sequences; this layer adds nothing
+time-dependent on top).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.response.attribution import attribute_window
+from repro.response.audit import AuditLog
+
+ACTION_OBSERVE = "observe"
+ACTION_WRITE_BLOCK = "write_block"
+ACTION_QUARANTINE = "quarantine_stream"
+ACTION_KILL = "kill"
+ACTION_RESTORE = "restore_snapshot"
+
+#: The graduated ladder, least to most severe.
+ESCALATION_LADDER = (
+    ACTION_OBSERVE,
+    ACTION_WRITE_BLOCK,
+    ACTION_QUARANTINE,
+    ACTION_KILL,
+    ACTION_RESTORE,
+)
+
+_RANK = {action: rank for rank, action in enumerate(ESCALATION_LADDER)}
+
+#: enforcer hook name per enforcing rung.
+_ENFORCER_HOOKS = {
+    ACTION_WRITE_BLOCK: "write_block",
+    ACTION_QUARANTINE: "quarantine",
+    ACTION_KILL: "kill",
+}
+
+
+def _check_threshold(name: str, value) -> None:
+    if value is not None and not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1] or None, got {value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponsePolicy:
+    """Declarative mapping from verdict confidence to the ladder.
+
+    Parameters
+    ----------
+    observe_threshold:
+        Probability a positive verdict needs to *qualify* (count toward
+        the confirmation streak and arm copy-on-write protection).
+        Verdicts below it reset the streak.
+    write_block_threshold / quarantine_threshold / kill_threshold:
+        Once a stream's streak reaches ``confirmations``, it escalates to
+        the most severe rung whose threshold its probability clears.
+        ``None`` disables a rung entirely.
+    confirmations:
+        Consecutive qualifying verdicts required before any enforcement;
+        1 enforces on the first alarm.
+    allow_kill / allow_restore:
+        The destructive rungs must be opted into explicitly.  A warranted
+        but disallowed escalation is capped at quarantine and recorded in
+        the audit log as a ``gated`` event — the operator sees what the
+        policy *would* have done.  ``allow_restore`` additionally rolls
+        the protected volume back to its snapshot when a stream is
+        killed.
+    attribute:
+        Compute occlusion attribution at enforcement escalations (needs
+        the engine and the stream's token window; see
+        :meth:`ResponseEngine.observe_token`).
+    attribution_top_k / attribution_baseline_token:
+        How many culpable tokens each escalation records, and the
+        occlusion baseline token.
+    """
+
+    observe_threshold: float = 0.0
+    write_block_threshold: float | None = 0.5
+    quarantine_threshold: float | None = 0.8
+    kill_threshold: float | None = 0.95
+    confirmations: int = 2
+    allow_kill: bool = False
+    allow_restore: bool = False
+    attribute: bool = True
+    attribution_top_k: int = 3
+    attribution_baseline_token: int = 0
+
+    def __post_init__(self) -> None:
+        _check_threshold("observe_threshold", self.observe_threshold)
+        _check_threshold("write_block_threshold", self.write_block_threshold)
+        _check_threshold("quarantine_threshold", self.quarantine_threshold)
+        _check_threshold("kill_threshold", self.kill_threshold)
+        if self.observe_threshold is None:
+            raise ValueError("observe_threshold cannot be None")
+        if self.confirmations < 1:
+            raise ValueError(f"confirmations must be >= 1, got {self.confirmations}")
+        if self.attribution_top_k < 0:
+            raise ValueError("attribution_top_k must be >= 0")
+
+    def target_action(self, probability: float) -> str:
+        """The most severe rung ``probability`` clears (ungated)."""
+        target = ACTION_OBSERVE
+        for threshold, action in (
+            (self.write_block_threshold, ACTION_WRITE_BLOCK),
+            (self.quarantine_threshold, ACTION_QUARANTINE),
+            (self.kill_threshold, ACTION_KILL),
+        ):
+            if threshold is not None and probability >= threshold:
+                target = action
+        return target
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponseDecision:
+    """What one verdict did to one stream."""
+
+    stream: str
+    window_index: int
+    probability: float
+    action_before: str
+    action: str
+    escalated: bool
+    gated: tuple = ()           # rungs the policy flags refused
+    attribution: object = None  # WindowAttribution | None
+    restore: object = None      # hw RestoreResult | None
+
+
+class _StreamState:
+    __slots__ = ("streak", "action", "alerted", "gated", "tokens")
+
+    def __init__(self, window_length):
+        self.streak = 0
+        self.action = ACTION_OBSERVE
+        self.alerted = False
+        self.gated: set = set()
+        self.tokens = (
+            None if window_length is None
+            else collections.deque(maxlen=window_length)
+        )
+
+
+class ResponseEngine:
+    """Per-stream response state machine over a shared policy.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`ResponsePolicy`; defaults are conservative
+        (destructive rungs gated off).
+    enforcer:
+        Optional object with any of the hook methods ``observe`` (first
+        qualifying verdict — arm cheap protection), ``write_block``,
+        ``quarantine``, ``kill`` (escalations), ``restore`` (roll the
+        volume back; must return the restore accounting or ``None``).
+        Missing hooks are skipped — the state machine and audit log run
+        regardless.
+    engine:
+        Optional :class:`~repro.core.engine.CSDInferenceEngine` for
+        occlusion attribution; its sequence length sets the token-window
+        size :meth:`observe_token` maintains.
+    audit:
+        The :class:`~repro.response.audit.AuditLog` transitions append
+        to; a fresh one by default.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; observation-only
+        (``repro_resp_*`` metrics and the ``response.act`` span — see
+        ``docs/observability.md``).
+    window_length:
+        Token-window size when no ``engine`` is given.
+    """
+
+    def __init__(self, policy: ResponsePolicy | None = None, enforcer=None,
+                 engine=None, audit: AuditLog | None = None, telemetry=None,
+                 window_length: int | None = None):
+        self.policy = policy or ResponsePolicy()
+        self.enforcer = enforcer
+        self.engine = engine
+        self.audit = audit if audit is not None else AuditLog()
+        self.telemetry = telemetry
+        if engine is not None and window_length is None:
+            window_length = engine.config.dimensions.sequence_length
+        self.window_length = window_length
+        self._streams: dict = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _state(self, stream) -> _StreamState:
+        state = self._streams.get(stream)
+        if state is None:
+            state = self._streams[stream] = _StreamState(self.window_length)
+        return state
+
+    def action_of(self, stream) -> str:
+        """The stream's current rung (``observe`` when never seen)."""
+        state = self._streams.get(stream)
+        return ACTION_OBSERVE if state is None else state.action
+
+    def streak_of(self, stream) -> int:
+        """The stream's current consecutive-confirmation streak."""
+        state = self._streams.get(stream)
+        return 0 if state is None else state.streak
+
+    @property
+    def streams(self) -> tuple:
+        return tuple(self._streams)
+
+    def observe_token(self, stream, token) -> None:
+        """Record one stream token for later attribution.
+
+        Feed this *before* the verdict for the same token, so the window
+        buffer holds exactly the firing window when :meth:`on_verdict`
+        attributes it.
+        """
+        state = self._state(stream)
+        if state.tokens is not None:
+            state.tokens.append(int(token))
+
+    # -- telemetry ------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, **labels).inc(amount)
+
+    def _audit(self, stream, at: int, event: str, action: str,
+               details: dict) -> None:
+        self.audit.append(stream, at, event, action, details)
+        self._count("repro_resp_audit_records_total")
+
+    def _emit_escalation(self, stream, verdict, action: str) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.metrics.counter(
+            "repro_resp_actions_total", action=action
+        ).inc()
+        self.telemetry.gauge("repro_resp_quarantined_streams").set(
+            sum(
+                1 for state in self._streams.values()
+                if _RANK[state.action] >= _RANK[ACTION_QUARANTINE]
+            )
+        )
+        self.telemetry.tracer.record(
+            "response.act", verdict.window_index, verdict.window_index + 1,
+            attributes={
+                "stream": str(stream), "action": action,
+                "probability": verdict.probability, "unit": "window",
+            },
+        )
+
+    # -- the state machine ----------------------------------------------
+
+    def on_verdict(self, stream, verdict) -> ResponseDecision:
+        """Apply one verdict (needs ``probability``/``is_ransomware``/
+        ``window_index`` attributes) to the stream's state machine."""
+        policy = self.policy
+        state = self._state(stream)
+        before = state.action
+        probability = float(verdict.probability)
+        window_index = int(verdict.window_index)
+
+        def decision(escalated=False, gated=(), attribution=None, restore=None):
+            return ResponseDecision(
+                stream=str(stream), window_index=window_index,
+                probability=probability, action_before=before,
+                action=state.action, escalated=escalated, gated=gated,
+                attribution=attribution, restore=restore,
+            )
+
+        if state.action in (ACTION_KILL, ACTION_RESTORE):
+            return decision()
+        qualifying = (
+            bool(verdict.is_ransomware)
+            and probability >= policy.observe_threshold
+        )
+        if not qualifying:
+            state.streak = 0
+            return decision()
+        state.streak += 1
+        if not state.alerted:
+            state.alerted = True
+            self._call_enforcer("observe", stream)
+            self._audit(stream, window_index, "alert", ACTION_OBSERVE,
+                        {"probability": probability})
+        if state.streak < policy.confirmations:
+            return decision()
+
+        target = policy.target_action(probability)
+        gated: list = []
+        if target == ACTION_KILL and not policy.allow_kill:
+            if ACTION_KILL not in state.gated:
+                state.gated.add(ACTION_KILL)
+                gated.append(ACTION_KILL)
+                self._audit(stream, window_index, "gated", ACTION_KILL,
+                            {"probability": probability})
+                self._count("repro_resp_gated_total", action=ACTION_KILL)
+            target = ACTION_QUARANTINE if policy.quarantine_threshold is not None \
+                else ACTION_WRITE_BLOCK
+        if _RANK[target] <= _RANK[state.action]:
+            return decision(gated=tuple(gated))
+
+        applied = [
+            action for action in ESCALATION_LADDER
+            if _RANK[state.action] < _RANK[action] <= _RANK[target]
+        ]
+        for action in applied:
+            hook = _ENFORCER_HOOKS.get(action)
+            if hook is not None:
+                self._call_enforcer(hook, stream)
+        state.action = target
+        attribution = self._attribute(state, window_index)
+        details: dict = {
+            "probability": probability,
+            "streak": state.streak,
+            "applied": applied,
+        }
+        if attribution is not None:
+            details["attribution"] = attribution.as_dict(
+                policy.attribution_top_k
+            )
+        self._audit(stream, window_index, "escalate", target, details)
+        self._emit_escalation(stream, verdict, target)
+
+        restore = None
+        if target == ACTION_KILL and policy.allow_restore:
+            restore = self._restore(stream, window_index)
+        return decision(
+            escalated=True, gated=tuple(gated),
+            attribution=attribution, restore=restore,
+        )
+
+    def restore(self, stream, at: int = 0):
+        """Operator-initiated restore (gated by ``allow_restore``)."""
+        if not self.policy.allow_restore:
+            raise PermissionError(
+                "restore_snapshot is gated off (ResponsePolicy.allow_restore)"
+            )
+        return self._restore(stream, at)
+
+    def _restore(self, stream, at: int):
+        restore = self._call_enforcer("restore", stream)
+        state = self._state(stream)
+        state.action = ACTION_RESTORE
+        details: dict = {}
+        if restore is not None:
+            details = {
+                "restored_objects": restore.restored_objects,
+                "restored_bytes": restore.restored_bytes,
+                "deleted_objects": restore.deleted_objects,
+            }
+        self._audit(stream, at, "restore", ACTION_RESTORE, details)
+        self._count("repro_resp_actions_total", action=ACTION_RESTORE)
+        return restore
+
+    def _call_enforcer(self, hook: str, stream):
+        enforcer = self.enforcer
+        if enforcer is None:
+            return None
+        method = getattr(enforcer, hook, None)
+        if method is None:
+            return None
+        return method(stream)
+
+    def _attribute(self, state: _StreamState, window_index: int):
+        policy = self.policy
+        if not policy.attribute or self.engine is None:
+            return None
+        tokens = state.tokens
+        if tokens is None or self.window_length is None:
+            return None
+        if len(tokens) != self.window_length:
+            return None
+        attribution = attribute_window(
+            self.engine, tuple(tokens), window_index=window_index,
+            baseline_token=policy.attribution_baseline_token,
+        )
+        self._count("repro_resp_attributions_total")
+        return attribution
+
+    def summary(self) -> dict:
+        """Response statistics for reporting."""
+        actions = {action: 0 for action in ESCALATION_LADDER}
+        for state in self._streams.values():
+            actions[state.action] += 1
+        return {
+            "streams": len(self._streams),
+            "actions": actions,
+            "audit_records": len(self.audit),
+            "audit_head": self.audit.head_hash,
+        }
+
+
+class SmartSsdEnforcer:
+    """Maps policy escalations onto one SmartSSD's protected write path.
+
+    ``observe`` arms copy-on-write preservation for the stream (cheap
+    insurance: everything a suspicious stream overwrites is preserved
+    into the volume snapshot before the damage lands); ``write_block``
+    and above refuse the stream's writes at the drive; ``restore`` rolls
+    the volume back to its snapshot.
+    """
+
+    def __init__(self, storage):
+        self.storage = storage
+
+    def observe(self, stream) -> None:
+        from repro.hw.smartssd import MODE_BLOCK, MODE_COW
+
+        if self.storage.stream_mode(stream) != MODE_BLOCK:
+            self.storage.set_stream_mode(stream, MODE_COW)
+
+    def write_block(self, stream) -> None:
+        from repro.hw.smartssd import MODE_BLOCK
+
+        self.storage.set_stream_mode(stream, MODE_BLOCK)
+
+    quarantine = write_block
+    kill = write_block
+
+    def restore(self, stream):
+        if self.storage.active_snapshot_id is None:
+            return None
+        return self.storage.restore_volume()
+
+
+class FleetResponder:
+    """Fleet-level verdict → action bridge for :class:`FleetServer`.
+
+    Pass an instance as ``FleetServer(on_verdict=...)`` (or
+    ``ControlPlaneConfig(on_verdict=...)``); the server binds itself at
+    construction.  On a firing verdict the responder runs the shared
+    :class:`ResponseEngine`, and enforcement lands on the fleet:
+    quarantined streams are shed at admission
+    (``tokens_shed["quarantined"]``), the backing volume of the owning
+    drive is snapshotted (when that engine has a
+    :class:`~repro.hw.smartssd.SmartSSD` attached), and killed streams
+    additionally drop their session state.
+
+    Attribution at the fleet level needs the window tokens, which the
+    server does not retain; supply ``token_lookup`` (stream → iterable
+    of the last ``window_length`` tokens) to enable it.
+    """
+
+    def __init__(self, policy: ResponsePolicy | None = None,
+                 audit: AuditLog | None = None, telemetry=None,
+                 engine=None, token_lookup=None):
+        self.token_lookup = token_lookup
+        self.engine = ResponseEngine(
+            policy=policy, enforcer=self, engine=engine,
+            audit=audit, telemetry=telemetry,
+        )
+        self.server = None
+        self._device_index: int | None = None
+
+    @property
+    def audit(self) -> AuditLog:
+        return self.engine.audit
+
+    def bind(self, server) -> "FleetResponder":
+        self.server = server
+        return self
+
+    def __call__(self, record) -> ResponseDecision:
+        """Handle one :class:`~repro.core.serving.StreamVerdictRecord`."""
+        if self.server is None:
+            raise RuntimeError("FleetResponder is not bound to a server")
+        self._device_index = record.device
+        if self.token_lookup is not None:
+            state_tokens = self.token_lookup(record.stream)
+            if state_tokens is not None:
+                for token in state_tokens:
+                    self.engine.observe_token(record.stream, token)
+        return self.engine.on_verdict(record.stream, record)
+
+    # -- enforcer hooks -------------------------------------------------
+
+    def _storage(self):
+        if self.server is None or self._device_index is None:
+            return None
+        device = self.server.devices[self._device_index]
+        return getattr(device.engine, "storage", None)
+
+    def observe(self, stream) -> None:
+        storage = self._storage()
+        if storage is not None:
+            SmartSsdEnforcer(storage).observe(stream)
+
+    def write_block(self, stream) -> None:
+        storage = self._storage()
+        if storage is not None:
+            SmartSsdEnforcer(storage).write_block(stream)
+
+    def quarantine(self, stream) -> None:
+        self.server.quarantine_stream(stream)
+        storage = self._storage()
+        if storage is not None:
+            storage.snapshot_volume()
+            SmartSsdEnforcer(storage).write_block(stream)
+
+    def kill(self, stream) -> None:
+        self.server.kill_stream(stream)
+        storage = self._storage()
+        if storage is not None:
+            SmartSsdEnforcer(storage).write_block(stream)
+
+    def restore(self, stream):
+        storage = self._storage()
+        if storage is None or storage.active_snapshot_id is None:
+            return None
+        return storage.restore_volume()

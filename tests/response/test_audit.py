@@ -1,0 +1,133 @@
+"""The hash-chained audit log: determinism, tamper evidence, per-stream
+chains, and the JSONL round trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.response.audit import (
+    GENESIS_HASH,
+    AuditLog,
+    AuditTamperError,
+)
+
+
+def _sample_appends(log: AuditLog) -> AuditLog:
+    log.append("proc-1", 3, "alert", "observe", {"probability": 0.8})
+    log.append("proc-2", 1, "alert", "observe", {"probability": 0.9})
+    log.append("proc-1", 5, "escalate", "write_block",
+               {"probability": 0.92, "streak": 2, "applied": ["write_block"]})
+    log.append("proc-2", 4, "gated", "kill", {"probability": 0.99})
+    return log
+
+
+class TestChaining:
+    def test_empty_log_heads_are_genesis(self):
+        log = AuditLog()
+        assert log.head_hash == GENESIS_HASH
+        assert log.stream_head("anything") == GENESIS_HASH
+        assert log.stream_heads() == {}
+        assert log.verify()
+
+    def test_identical_appends_give_bit_identical_logs(self):
+        first = _sample_appends(AuditLog())
+        second = _sample_appends(AuditLog())
+        assert first.head_hash == second.head_hash
+        assert first.stream_heads() == second.stream_heads()
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_each_record_chains_on_the_previous(self):
+        log = _sample_appends(AuditLog())
+        records = log.records
+        assert records[0].prev_hash == GENESIS_HASH
+        for prev, record in zip(records, records[1:]):
+            assert record.prev_hash == prev.entry_hash
+        assert log.head_hash == records[-1].entry_hash
+
+    def test_order_matters_for_the_global_chain(self):
+        forward = AuditLog()
+        forward.append("a", 0, "alert", "observe", {})
+        forward.append("b", 0, "alert", "observe", {})
+        swapped = AuditLog()
+        swapped.append("b", 0, "alert", "observe", {})
+        swapped.append("a", 0, "alert", "observe", {})
+        assert forward.head_hash != swapped.head_hash
+
+    def test_verify_passes_on_untouched_log(self):
+        assert _sample_appends(AuditLog()).verify()
+
+
+class TestPerStreamChains:
+    def test_stream_chain_independent_of_interleaving(self):
+        """The failover-invariance core: a stream's chain depends only on
+        its own records, not on how other streams interleave globally."""
+        mixed = _sample_appends(AuditLog())
+        solo = AuditLog()
+        solo.append("proc-1", 3, "alert", "observe", {"probability": 0.8})
+        solo.append("proc-1", 5, "escalate", "write_block",
+                    {"probability": 0.92, "streak": 2,
+                     "applied": ["write_block"]})
+        assert mixed.stream_head("proc-1") == solo.stream_head("proc-1")
+        assert mixed.head_hash != solo.head_hash
+
+    def test_stream_heads_cover_every_stream(self):
+        log = _sample_appends(AuditLog())
+        assert set(log.stream_heads()) == {"proc-1", "proc-2"}
+
+    def test_stream_names_are_canonicalised_to_str(self):
+        log = AuditLog()
+        log.append(17, 0, "alert", "observe", {})
+        assert log.stream_head(17) == log.stream_head("17") != GENESIS_HASH
+
+
+class TestTamperEvidence:
+    def test_mutated_details_break_verification(self):
+        log = _sample_appends(AuditLog())
+        # Frozen dataclass: forge a record the way an attacker with
+        # memory access would, then verify must catch it.
+        forged = dataclasses.replace(
+            log.records[1], details={"probability": 0.1}
+        )
+        log._records[1] = forged
+        with pytest.raises(AuditTamperError):
+            log.verify()
+
+    def test_dropped_record_breaks_verification(self):
+        log = _sample_appends(AuditLog())
+        del log._records[1]
+        with pytest.raises(AuditTamperError):
+            log.verify()
+
+    def test_reordered_records_break_verification(self):
+        log = _sample_appends(AuditLog())
+        log._records[0], log._records[1] = log._records[1], log._records[0]
+        with pytest.raises(AuditTamperError):
+            log.verify()
+
+    def test_truncated_head_breaks_verification(self):
+        log = _sample_appends(AuditLog())
+        log._records.pop()
+        with pytest.raises(AuditTamperError):
+            log.verify()
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        log = _sample_appends(AuditLog())
+        path = tmp_path / "audit.jsonl"
+        log.write(path)
+        loaded = AuditLog.read(path)
+        assert loaded.head_hash == log.head_hash
+        assert loaded.stream_heads() == log.stream_heads()
+        assert loaded.to_jsonl() == log.to_jsonl()
+        assert loaded.verify()
+
+    def test_read_rejects_edited_file(self, tmp_path):
+        log = _sample_appends(AuditLog())
+        path = tmp_path / "audit.jsonl"
+        log.write(path)
+        text = path.read_text().replace("0.92", "0.02")
+        assert text != path.read_text()
+        path.write_text(text)
+        with pytest.raises(AuditTamperError):
+            AuditLog.read(path)
